@@ -1,0 +1,85 @@
+//! Machine-model throughput: how fast the simulator itself runs.
+//!
+//! These benches bound the cost of the measurement pipeline (cycles
+//! simulated per second) for the three machine states the workload
+//! alternates between, plus the monitor's acquisition path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fx8_bench::helpers::{glue, loop_body, warm_loop_cluster};
+use fx8_monitor::{DasConfig, DasMonitor, EventCounts, Trigger};
+use fx8_sim::{Cluster, MachineConfig};
+use fx8_workload::kernels;
+use std::hint::black_box;
+
+const CYCLES: u64 = 10_000;
+
+fn bench_step_idle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_step");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("idle", |b| {
+        let mut cl = Cluster::new(MachineConfig::fx8(), 1);
+        cl.set_ip_intensity(0.015);
+        b.iter(|| {
+            for _ in 0..CYCLES {
+                black_box(cl.step());
+            }
+        })
+    });
+    g.bench_function("serial", |b| {
+        let mut cl = Cluster::new(MachineConfig::fx8(), 1);
+        cl.set_ip_intensity(0.015);
+        cl.mount_serial(kernels::scalar_serial().instantiate(1), 1, None);
+        b.iter(|| {
+            for _ in 0..CYCLES {
+                black_box(cl.step());
+            }
+        })
+    });
+    g.bench_function("full_loop", |b| {
+        let mut cl = warm_loop_cluster(1);
+        b.iter(|| {
+            for _ in 0..CYCLES {
+                black_box(cl.step());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("das_acquisition");
+    g.bench_function("immediate_512", |b| {
+        let mut cl = warm_loop_cluster(2);
+        let das = DasMonitor::new(DasConfig::das9100(Trigger::Immediate));
+        b.iter(|| black_box(das.acquire(&mut cl).expect("immediate cannot fail")))
+    });
+    g.bench_function("reduce_512", |b| {
+        let mut cl = warm_loop_cluster(3);
+        let words = cl.capture(512);
+        b.iter(|| black_box(EventCounts::reduce(black_box(&words), 8)))
+    });
+    g.finish();
+}
+
+fn bench_loop_mount_and_drain(c: &mut Criterion) {
+    c.bench_function("loop_drain_64_iters", |b| {
+        b.iter(|| {
+            let mut cl = Cluster::new(MachineConfig::fx8(), 4);
+            cl.set_ip_intensity(0.0);
+            cl.mount_loop(loop_body(&kernels::sor_sweep(258)), 194, 258, glue(), 1);
+            let mut steps = 0u64;
+            while cl.load_kind() != fx8_sim::cluster::LoadKind::Drained && steps < 500_000 {
+                cl.step();
+                steps += 1;
+            }
+            black_box(steps)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step_idle, bench_acquisition, bench_loop_mount_and_drain
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! One benchmark per figure (or figure family): regenerates each of the
+//! thesis's figures from the shared study and times the generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx8_bench::helpers::shared_quick_study;
+use fx8_core::figures;
+use fx8_core::study::Study;
+use std::hint::black_box;
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $bench_name:literal, $gen:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let study = shared_quick_study();
+            let generator: fn(&Study) -> String = $gen;
+            c.bench_function($bench_name, |b| b.iter(|| black_box(generator(black_box(study)))));
+        }
+    };
+}
+
+fig_bench!(fig3, "fig3_processor_histogram", figures::fig3);
+fig_bench!(fig4, "fig4_cw_distribution", figures::fig4);
+fig_bench!(fig5, "fig5_pc_distribution", figures::fig5);
+fig_bench!(fig6, "fig6_transition_histogram", figures::fig6);
+fig_bench!(fig7, "fig7_per_ce_transition_activity", figures::fig7);
+fig_bench!(fig8, "fig8_missrate_vs_cw_scatter", figures::fig8);
+fig_bench!(fig9, "fig9_missrate_vs_pc_scatter", figures::fig9);
+fig_bench!(fig10, "fig10_missrate_cw_bands", figures::fig10);
+fig_bench!(fig11, "fig11_missrate_pc_bands", figures::fig11);
+fig_bench!(fig12, "fig12_missrate_model", figures::fig12);
+fig_bench!(fig13, "fig13_busy_model_cw", figures::fig13);
+fig_bench!(fig14, "fig14_busy_model_pc", figures::fig14);
+fig_bench!(fig_a3, "figA3_busy_distribution", figures::fig_a3);
+fig_bench!(fig_a4, "figA4_missrate_distribution", figures::fig_a4);
+fig_bench!(fig_a5, "figA5_pfr_distribution", figures::fig_a5);
+fig_bench!(fig_b1, "figB1_busy_vs_cw_scatter", figures::fig_b1);
+fig_bench!(fig_b2, "figB2_busy_vs_pc_scatter", figures::fig_b2);
+fig_bench!(fig_b3, "figB3_busy_cw_bands", figures::fig_b3);
+fig_bench!(fig_b4, "figB4_busy_pc_bands", figures::fig_b4);
+fig_bench!(fig_b5, "figB5_pfr_vs_cw_scatter", figures::fig_b5);
+fig_bench!(fig_b6, "figB6_pfr_vs_pc_scatter", figures::fig_b6);
+fig_bench!(fig_b7, "figB7_pfr_cw_bands", figures::fig_b7);
+fig_bench!(fig_b8, "figB8_pfr_pc_bands", figures::fig_b8);
+fig_bench!(fig_b9, "figB9_pfr_model_cw", figures::fig_b9);
+fig_bench!(fig_b10, "figB10_pfr_model_pc", figures::fig_b10);
+
+fn fig_a1_a2(c: &mut Criterion) {
+    let study = shared_quick_study();
+    c.bench_function("figA1_A2_per_session_histograms", |b| {
+        b.iter(|| {
+            black_box(figures::fig_a1_a2(black_box(study), 0));
+            black_box(figures::fig_a1_a2(black_box(study), study.random_sessions.len() - 1));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+        fig_a1_a2, fig_a3, fig_a4, fig_a5, fig_b1, fig_b2, fig_b3, fig_b4, fig_b5, fig_b6,
+        fig_b7, fig_b8, fig_b9, fig_b10
+}
+criterion_main!(benches);

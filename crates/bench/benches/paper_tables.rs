@@ -1,0 +1,62 @@
+//! One benchmark group per table: regenerates Tables 1–4 and A.1 from the
+//! shared study and times the analysis pipeline behind each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fx8_bench::helpers::shared_quick_study;
+use fx8_core::tables;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_event_count_definitions", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let study = shared_quick_study();
+    let mut g = c.benchmark_group("table2_concurrency_measures");
+    g.bench_function("pool_and_measure", |b| {
+        b.iter(|| {
+            let t = tables::table2(black_box(study));
+            black_box(t.measures.workload_concurrency)
+        })
+    });
+    g.bench_function("render", |b| {
+        let t = tables::table2(study);
+        b.iter(|| black_box(t.render()))
+    });
+    g.finish();
+    // Document the regenerated values once per bench run.
+    let t = tables::table2(study);
+    eprintln!("{}", t.render());
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let study = shared_quick_study();
+    c.bench_function("table3_regression_cw", |b| {
+        b.iter(|| black_box(tables::table3(black_box(study))))
+    });
+    eprintln!("{}", tables::table3(study).render());
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let study = shared_quick_study();
+    c.bench_function("table4_regression_pc", |b| {
+        b.iter(|| black_box(tables::table4(black_box(study))))
+    });
+    eprintln!("{}", tables::table4(study).render());
+}
+
+fn bench_table_a1(c: &mut Criterion) {
+    let study = shared_quick_study();
+    c.bench_function("tableA1_session_means", |b| {
+        b.iter(|| black_box(tables::table_a1(black_box(study))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table_a1
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Regenerate every table and figure of the thesis's evaluation.
+//!
+//! ```text
+//! reproduce [--quick] [--out DIR] [IDS...]
+//! ```
+//!
+//! With no IDS, everything is regenerated. IDS are case-insensitive table
+//! and figure names: `table1 table2 table3 table4 tableA1 fig3 .. fig14
+//! figA1 .. figA5 figB1 .. figB10 comparison`.
+//!
+//! `--quick` runs a scaled-down study (seconds instead of minutes);
+//! `--out DIR` additionally writes `report.txt`, `comparison.md` and
+//! `study.json` under DIR.
+
+use fx8_core::study::{Study, StudyConfig};
+use fx8_core::{figures, report, tables};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: reproduce [--quick] [--out DIR] [IDS...]\n\
+     IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 figB1..figB10 comparison"
+}
+
+struct Args {
+    quick: bool,
+    out: Option<String>,
+    ids: BTreeSet<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut quick = false;
+    let mut out = None;
+    let mut ids = BTreeSet::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(argv.next().ok_or("--out requires a directory")?);
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            id if !id.starts_with('-') => {
+                ids.insert(id.to_ascii_lowercase());
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args { quick, out, ids })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = if args.quick { StudyConfig::quick() } else { StudyConfig::paper() };
+    eprintln!(
+        "running study: {} random sessions, {} triggered, {} transition ({} mode)...",
+        cfg.n_random,
+        cfg.n_triggered,
+        cfg.n_transition,
+        if args.quick { "quick" } else { "paper" }
+    );
+    let t0 = std::time::Instant::now();
+    let study = Study::run(cfg);
+    eprintln!(
+        "study complete in {:.1}s: {} samples, {} records",
+        t0.elapsed().as_secs_f64(),
+        study.all_samples().len(),
+        study.pooled_counts().records
+    );
+
+    let wanted = |id: &str| args.ids.is_empty() || args.ids.contains(&id.to_ascii_lowercase());
+    let mut printed = String::new();
+    let mut emit = |id: &str, text: String| {
+        if wanted(id) {
+            println!("==================== {id} ====================");
+            println!("{text}");
+        }
+        printed.push_str(&format!("==================== {id} ====================\n"));
+        printed.push_str(&text);
+        printed.push('\n');
+    };
+
+    emit("table1", tables::table1());
+    emit("table2", tables::table2(&study).render());
+    emit("table3", tables::table3(&study).render());
+    emit("table4", tables::table4(&study).render());
+    emit("tableA1", tables::render_table_a1(&tables::table_a1(&study)));
+    emit("fig3", figures::fig3(&study));
+    emit("fig4", figures::fig4(&study));
+    emit("fig5", figures::fig5(&study));
+    emit("fig6", figures::fig6(&study));
+    emit("fig7", figures::fig7(&study));
+    emit("fig8", figures::fig8(&study));
+    emit("fig9", figures::fig9(&study));
+    emit("fig10", figures::fig10(&study));
+    emit("fig11", figures::fig11(&study));
+    emit("fig12", figures::fig12(&study));
+    emit("fig13", figures::fig13(&study));
+    emit("fig14", figures::fig14(&study));
+    emit("figA1", figures::fig_a1_a2(&study, 0));
+    emit("figA2", figures::fig_a1_a2(&study, study.random_sessions.len() - 1));
+    emit("figA3", figures::fig_a3(&study));
+    emit("figA4", figures::fig_a4(&study));
+    emit("figA5", figures::fig_a5(&study));
+    emit("figB1", figures::fig_b1(&study));
+    emit("figB2", figures::fig_b2(&study));
+    emit("figB3", figures::fig_b3(&study));
+    emit("figB4", figures::fig_b4(&study));
+    emit("figB5", figures::fig_b5(&study));
+    emit("figB6", figures::fig_b6(&study));
+    emit("figB7", figures::fig_b7(&study));
+    emit("figB8", figures::fig_b8(&study));
+    emit("figB9", figures::fig_b9(&study));
+    emit("figB10", figures::fig_b10(&study));
+
+    let rows = report::comparison(&study);
+    emit("comparison", report::render_comparison(&rows));
+
+    if let Some(dir) = &args.out {
+        if let Err(e) = write_outputs(dir, &study, &printed, &rows) {
+            eprintln!("failed to write outputs to {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote report.txt, comparison.md and study.json to {dir}/");
+    }
+    ExitCode::SUCCESS
+}
+
+fn write_outputs(
+    dir: &str,
+    study: &Study,
+    report_text: &str,
+    rows: &[report::CompRow],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(format!("{dir}/report.txt"), report_text)?;
+    std::fs::write(format!("{dir}/comparison.md"), report::render_comparison(rows))?;
+    let json = serde_json::to_string(study).expect("study serializes");
+    std::fs::write(format!("{dir}/study.json"), json)?;
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Shared fixtures for the benchmark suite and the reproduce harness.
+
+use fx8_core::study::{Study, StudyConfig};
+use fx8_sim::stream::{LoopBody, SerialCode};
+use fx8_sim::{Cluster, MachineConfig};
+use fx8_workload::{kernels, WorkloadMix};
+use std::sync::OnceLock;
+
+/// A small study shared by data-shaping benches (built once).
+pub fn shared_quick_study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let cfg = StudyConfig {
+            n_random: 3,
+            session_hours: vec![0.25, 0.25, 0.25],
+            n_triggered: 2,
+            captures_per_triggered: 8,
+            n_transition: 2,
+            captures_per_transition: 8,
+            ..StudyConfig::paper()
+        };
+        Study::run(cfg)
+    })
+}
+
+/// A cluster with a long concurrent loop mounted and warmed.
+pub fn warm_loop_cluster(seed: u64) -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), seed);
+    c.set_ip_intensity(WorkloadMix::csrd_production().ip_intensity);
+    let k = kernels::sor_sweep(1026);
+    c.mount_loop(loop_body(&k), 0, 1_000_000, glue(), 1);
+    c.run(20_000);
+    c
+}
+
+/// Instantiate a loop kernel for ASID 1.
+pub fn loop_body(k: &kernels::LoopKernel) -> Box<dyn LoopBody> {
+    k.instantiate(1)
+}
+
+/// The standard glue serial stream for ASID 1.
+pub fn glue() -> Box<dyn SerialCode> {
+    kernels::glue_serial().instantiate(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_cluster_is_fully_concurrent() {
+        let mut c = warm_loop_cluster(3);
+        let words = c.capture(256);
+        let full = words.iter().filter(|w| w.active_count() == 8).count();
+        assert!(full > 200, "{full}/256 records full");
+    }
+}

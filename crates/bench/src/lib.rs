@@ -1,0 +1,7 @@
+//! # fx8-bench — benchmark fixtures and the reproduce harness
+//!
+//! The Criterion benches under `benches/` regenerate (and time) the data
+//! pipeline behind every table and figure; the `reproduce` binary prints
+//! them at paper scale. [`helpers`] holds the shared fixtures.
+
+pub mod helpers;

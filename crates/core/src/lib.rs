@@ -1,0 +1,27 @@
+//! # fx8-core — the study's methodology
+//!
+//! Everything above the machine/workload/monitor substrates: the two
+//! experiment protocols of § 3.5 (random workload sampling and
+//! triggered high-concurrency capture), the full multi-session study, and
+//! generators for every table and figure in the thesis's evaluation.
+//!
+//! * [`sample`] — one five-minute sample: merged snapshot event counts,
+//!   kernel counter deltas, and the derived measures (`C_w`, `P_c`,
+//!   Missrate, CE Bus Busy, Page Fault Rate);
+//! * [`experiment`] — session runners for the three session types;
+//! * [`study`] — the complete study (9 random + 10 triggered + 5
+//!   transition sessions), run in parallel across sessions;
+//! * [`tables`] — Tables 1–4 and A.1;
+//! * [`figures`] — Figures 3–14, A.1–A.5 and B.1–B.10;
+//! * [`report`] — the full text report and the paper-vs-measured
+//!   comparison behind EXPERIMENTS.md.
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod sample;
+pub mod study;
+pub mod tables;
+
+pub use sample::Sample;
+pub use study::{Study, StudyConfig};

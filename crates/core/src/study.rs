@@ -1,0 +1,271 @@
+//! The complete study.
+//!
+//! § 3.5: nine random-sampling sessions on seven midweek days, ten
+//! all-active-triggered sessions, and five transition-triggered sessions.
+//! Sessions are independent measurements (different days, different
+//! seeds), so the study runs them in parallel with scoped threads — the
+//! results are bit-identical to a serial run.
+
+use crate::experiment::{
+    run_random_session, run_transition_session, run_triggered_session, SessionConfig,
+    SessionResult,
+};
+use crate::sample::Sample;
+use fx8_monitor::EventCounts;
+use fx8_sim::MachineConfig;
+use fx8_stats::measures::ConcurrencyMeasures;
+use fx8_workload::WorkloadMix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the whole study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Machine configuration shared by all sessions.
+    pub machine: MachineConfig,
+    /// Workload mix shared by all sessions.
+    pub mix: WorkloadMix,
+    /// Number of random-sampling sessions (9 in the study).
+    pub n_random: usize,
+    /// Random-session lengths in hours, cycled across sessions
+    /// ("each session lasted between four and eight hours").
+    pub session_hours: Vec<f64>,
+    /// Number of all-active-triggered sessions (10 in the study).
+    pub n_triggered: usize,
+    /// Buffers captured per triggered session.
+    pub captures_per_triggered: usize,
+    /// Number of transition-triggered sessions (5 in the study).
+    pub n_transition: usize,
+    /// Buffers captured per transition session.
+    pub captures_per_transition: usize,
+    /// Base RNG seed; session `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Run sessions on parallel threads.
+    pub parallel: bool,
+}
+
+impl StudyConfig {
+    /// The study at paper scale.
+    pub fn paper() -> Self {
+        StudyConfig {
+            machine: MachineConfig::fx8(),
+            mix: WorkloadMix::csrd_production(),
+            n_random: 9,
+            session_hours: vec![4.0, 5.0, 6.0, 8.0, 4.5, 7.0, 5.5, 6.5, 6.0],
+            n_triggered: 10,
+            captures_per_triggered: 40,
+            n_transition: 5,
+            captures_per_transition: 40,
+            base_seed: 1987,
+            parallel: true,
+        }
+    }
+
+    /// A scaled-down study for tests and examples (minutes, not hours).
+    pub fn quick() -> Self {
+        StudyConfig {
+            n_random: 3,
+            session_hours: vec![0.35, 0.35, 0.35],
+            n_triggered: 2,
+            captures_per_triggered: 6,
+            n_transition: 2,
+            captures_per_transition: 6,
+            ..StudyConfig::paper()
+        }
+    }
+
+    fn session_cfg(&self, seed_offset: u64, hours: f64) -> SessionConfig {
+        SessionConfig {
+            machine: self.machine.clone(),
+            mix: self.mix.clone(),
+            hours,
+            ..SessionConfig::paper(self.base_seed + seed_offset)
+        }
+    }
+}
+
+/// The study's complete data set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Study {
+    /// The configuration that produced it.
+    pub config: StudyConfig,
+    /// Random-sampling sessions, in session order.
+    pub random_sessions: Vec<SessionResult>,
+    /// Per-buffer counts of the all-active-triggered sessions.
+    pub triggered: Vec<Vec<EventCounts>>,
+    /// Per-buffer counts of the transition-triggered sessions.
+    pub transitions: Vec<Vec<EventCounts>>,
+}
+
+impl Study {
+    /// Run the whole study.
+    pub fn run(config: StudyConfig) -> Study {
+        enum Task {
+            Random(usize, SessionConfig),
+            Triggered(usize, SessionConfig, usize),
+            Transition(usize, SessionConfig, usize),
+        }
+        enum Out {
+            Random(usize, SessionResult),
+            Triggered(usize, Vec<EventCounts>),
+            Transition(usize, Vec<EventCounts>),
+        }
+        let mut tasks = Vec::new();
+        for i in 0..config.n_random {
+            let hours = config.session_hours[i % config.session_hours.len().max(1)];
+            tasks.push(Task::Random(i, config.session_cfg(i as u64, hours)));
+        }
+        for i in 0..config.n_triggered {
+            let cfg = config.session_cfg(1000 + i as u64, 1.0);
+            tasks.push(Task::Triggered(i, cfg, config.captures_per_triggered));
+        }
+        for i in 0..config.n_transition {
+            let cfg = config.session_cfg(2000 + i as u64, 1.0);
+            tasks.push(Task::Transition(i, cfg, config.captures_per_transition));
+        }
+
+        let run_task = |t: &Task| -> Out {
+            match t {
+                Task::Random(i, cfg) => Out::Random(*i, run_random_session(cfg, *i)),
+                Task::Triggered(i, cfg, n) => {
+                    Out::Triggered(*i, run_triggered_session(cfg, *i, *n))
+                }
+                Task::Transition(i, cfg, n) => {
+                    Out::Transition(*i, run_transition_session(cfg, *i, *n))
+                }
+            }
+        };
+
+        let outputs: Vec<Out> = if config.parallel {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    tasks.iter().map(|t| scope.spawn(move |_| run_task(t))).collect();
+                handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
+            })
+            .expect("session scope panicked")
+        } else {
+            tasks.iter().map(run_task).collect()
+        };
+
+        let mut random_sessions = vec![None; config.n_random];
+        let mut triggered = vec![Vec::new(); config.n_triggered];
+        let mut transitions = vec![Vec::new(); config.n_transition];
+        for out in outputs {
+            match out {
+                Out::Random(i, r) => random_sessions[i] = Some(r),
+                Out::Triggered(i, b) => triggered[i] = b,
+                Out::Transition(i, b) => transitions[i] = b,
+            }
+        }
+        Study {
+            config,
+            random_sessions: random_sessions
+                .into_iter()
+                .map(|r| r.expect("every random session ran"))
+                .collect(),
+            triggered,
+            transitions,
+        }
+    }
+
+    /// Every sample of every random session, session order then time order.
+    pub fn all_samples(&self) -> Vec<&Sample> {
+        self.random_sessions.iter().flat_map(|s| s.samples.iter()).collect()
+    }
+
+    /// Pooled `num[j]` distribution over all random sessions (Figure 3).
+    pub fn pooled_num(&self) -> Vec<u64> {
+        let mut num = vec![0u64; self.config.machine.n_ces + 1];
+        for s in &self.random_sessions {
+            for (j, k) in s.pooled_num().iter().enumerate() {
+                if j < num.len() {
+                    num[j] += k;
+                }
+            }
+        }
+        num
+    }
+
+    /// Pooled event counts over all random sessions (Table 2).
+    pub fn pooled_counts(&self) -> EventCounts {
+        let mut acc = EventCounts::empty(self.config.machine.n_ces);
+        for s in &self.random_sessions {
+            acc.merge(&s.pooled_counts());
+        }
+        acc
+    }
+
+    /// Overall concurrency measures (Table 2).
+    pub fn overall_measures(&self) -> ConcurrencyMeasures {
+        ConcurrencyMeasures::from_counts(&self.pooled_num())
+    }
+
+    /// Pooled counts over all transition-triggered buffers (Figures 6–7).
+    pub fn pooled_transition_counts(&self) -> EventCounts {
+        let mut acc = EventCounts::empty(self.config.machine.n_ces);
+        for session in &self.transitions {
+            for b in session {
+                acc.merge(b);
+            }
+        }
+        acc
+    }
+
+    /// Pooled counts over all all-active-triggered buffers.
+    pub fn pooled_triggered_counts(&self) -> EventCounts {
+        let mut acc = EventCounts::empty(self.config.machine.n_ces);
+        for session in &self.triggered {
+            for b in session {
+                acc.merge(b);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini() -> StudyConfig {
+        StudyConfig {
+            n_random: 2,
+            session_hours: vec![0.12, 0.12],
+            n_triggered: 1,
+            captures_per_triggered: 2,
+            n_transition: 1,
+            captures_per_transition: 2,
+            mix: WorkloadMix::all_concurrent(),
+            ..StudyConfig::paper()
+        }
+    }
+
+    #[test]
+    fn study_runs_all_session_types() {
+        let s = Study::run(mini());
+        assert_eq!(s.random_sessions.len(), 2);
+        assert_eq!(s.triggered.len(), 1);
+        assert_eq!(s.transitions.len(), 1);
+        assert!(s.pooled_counts().records > 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let mut cfg = mini();
+        cfg.parallel = true;
+        let par = Study::run(cfg.clone());
+        cfg.parallel = false;
+        let ser = Study::run(cfg);
+        assert_eq!(par.random_sessions, ser.random_sessions);
+        assert_eq!(par.triggered, ser.triggered);
+        assert_eq!(par.transitions, ser.transitions);
+    }
+
+    #[test]
+    fn pooling_conserves_records() {
+        let s = Study::run(mini());
+        let pooled = s.pooled_counts();
+        let by_session: u64 = s.random_sessions.iter().map(|r| r.pooled_counts().records).sum();
+        assert_eq!(pooled.records, by_session);
+        assert_eq!(s.pooled_num().iter().sum::<u64>(), pooled.records);
+    }
+}

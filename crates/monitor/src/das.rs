@@ -1,0 +1,224 @@
+//! The logic analyzer.
+//!
+//! The DAS 9100 "acquires the state of up to 80 signals... and stores this
+//! data in a 512-deep buffer memory. The DAS is fully controllable through
+//! an i/o port" (§ 3.3). [`DasMonitor::acquire`] arms the instrument
+//! against a live cluster: it steps the machine until the configured
+//! trigger fires (or a timeout elapses, the failure mode a real experiment
+//! script must handle), then fills the buffer with consecutive records.
+
+use crate::trigger::{Trigger, TriggerState};
+use fx8_sim::{Cluster, Cycle, ProbeWord};
+use serde::{Deserialize, Serialize};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DasConfig {
+    /// Records per acquisition (512 on the unit used).
+    pub buffer_depth: usize,
+    /// Trigger condition.
+    pub trigger: Trigger,
+    /// Give up arming after this many cycles without a trigger.
+    pub timeout_cycles: u64,
+}
+
+impl DasConfig {
+    /// The instrument as used in the study: 512-deep buffer.
+    pub fn das9100(trigger: Trigger) -> Self {
+        DasConfig { buffer_depth: 512, trigger, timeout_cycles: 2_000_000 }
+    }
+}
+
+/// A completed acquisition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acquisition {
+    /// The captured records, trigger record first.
+    pub records: Vec<ProbeWord>,
+    /// Cycle of the trigger record.
+    pub triggered_at: Cycle,
+}
+
+/// Acquisition failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcquireError {
+    /// The trigger never fired within the timeout.
+    TriggerTimeout {
+        /// Cycles waited before giving up.
+        waited: u64,
+    },
+}
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcquireError::TriggerTimeout { waited } => {
+                write!(f, "trigger did not fire within {waited} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+/// The analyzer.
+#[derive(Debug, Clone)]
+pub struct DasMonitor {
+    cfg: DasConfig,
+}
+
+impl DasMonitor {
+    /// Build a monitor with the given configuration.
+    pub fn new(cfg: DasConfig) -> Self {
+        DasMonitor { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DasConfig {
+        self.cfg
+    }
+
+    /// Arm against `cluster`, wait for the trigger, fill the buffer.
+    /// The cluster advances by however many cycles the wait plus the
+    /// capture take (hardware monitoring is non-intrusive: the machine
+    /// does not know it is being observed).
+    pub fn acquire(&self, cluster: &mut Cluster) -> Result<Acquisition, AcquireError> {
+        let n_ces = cluster.config().n_ces;
+        let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
+        let armed_at = cluster.now();
+        loop {
+            let w = cluster.step();
+            if trig.fire(&w) {
+                let mut records = Vec::with_capacity(self.cfg.buffer_depth);
+                let triggered_at = w.cycle;
+                records.push(w);
+                while records.len() < self.cfg.buffer_depth {
+                    records.push(cluster.step());
+                }
+                return Ok(Acquisition { records, triggered_at });
+            }
+            if cluster.now() - armed_at >= self.cfg.timeout_cycles {
+                return Err(AcquireError::TriggerTimeout {
+                    waited: cluster.now() - armed_at,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fx8_sim::addr::VAddr;
+    use fx8_sim::stream::{CodeRegion, LoopBody, SerialCode, StridedLoop, StridedSerial};
+    use fx8_sim::MachineConfig;
+
+    fn serial_code() -> Box<dyn SerialCode> {
+        Box::new(StridedSerial::new(
+            CodeRegion { base: VAddr::new(1, 0), footprint_bytes: 512, bytes_per_instr: 4 },
+            VAddr::new(1, 0x10_0000),
+            8,
+            4096,
+            3,
+        ))
+    }
+
+    fn loop_body() -> Box<dyn LoopBody> {
+        Box::new(StridedLoop {
+            region: CodeRegion {
+                base: VAddr::new(1, 0x1000),
+                footprint_bytes: 256,
+                bytes_per_instr: 4,
+            },
+            src: VAddr::new(1, 0x20_0000),
+            dst: VAddr::new(1, 0x30_0000),
+            elem: 8,
+            compute: 6,
+        })
+    }
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new(MachineConfig::fx8(), 11);
+        c.set_ip_intensity(0.0);
+        c
+    }
+
+    #[test]
+    fn immediate_acquisition_fills_buffer() {
+        let mut c = cluster();
+        let das = DasMonitor::new(DasConfig::das9100(Trigger::Immediate));
+        let acq = das.acquire(&mut c).unwrap();
+        assert_eq!(acq.records.len(), 512);
+        // Consecutive cycles.
+        for (i, w) in acq.records.iter().enumerate() {
+            assert_eq!(w.cycle, acq.triggered_at + i as u64);
+        }
+    }
+
+    #[test]
+    fn all_active_trigger_waits_for_full_concurrency() {
+        let mut c = cluster();
+        c.mount_loop(loop_body(), 0, 1_000_000, serial_code(), 1);
+        let das = DasMonitor::new(DasConfig::das9100(Trigger::AllCesActive));
+        let acq = das.acquire(&mut c).unwrap();
+        assert_eq!(acq.records[0].active_count(), 8, "first record is the trigger");
+    }
+
+    #[test]
+    fn transition_trigger_captures_the_drain() {
+        let mut c = cluster();
+        // Long enough to reach full concurrency, short enough to drain.
+        c.mount_loop(loop_body(), 0, 2_000, serial_code(), 1);
+        let das = DasMonitor::new(DasConfig::das9100(Trigger::TransitionFromFull));
+        let acq = das.acquire(&mut c).unwrap();
+        let first = acq.records[0].active_count();
+        assert!(first < 8, "trigger record is below full concurrency: {first}");
+        assert!(first >= 1, "the drain starts with some CEs still running");
+    }
+
+    #[test]
+    fn trigger_timeout_on_idle_machine() {
+        let mut c = cluster();
+        let das = DasMonitor::new(DasConfig {
+            buffer_depth: 512,
+            trigger: Trigger::AllCesActive,
+            timeout_cycles: 5_000,
+        });
+        let err = das.acquire(&mut c).unwrap_err();
+        assert!(matches!(err, AcquireError::TriggerTimeout { waited } if waited >= 5_000));
+    }
+
+    #[test]
+    fn serial_work_never_fires_all_active() {
+        let mut c = cluster();
+        c.mount_serial(serial_code(), 1, None);
+        let das = DasMonitor::new(DasConfig {
+            buffer_depth: 64,
+            trigger: Trigger::AllCesActive,
+            timeout_cycles: 10_000,
+        });
+        assert!(das.acquire(&mut c).is_err());
+    }
+
+    #[test]
+    fn acquisition_is_nonintrusive_to_machine_progress() {
+        // Two identical machines; one observed, one not. Same trace.
+        let trace = |observe: bool| {
+            let mut c = Cluster::new(MachineConfig::fx8(), 3);
+            c.set_ip_intensity(0.0);
+            c.mount_loop(loop_body(), 0, 5_000, serial_code(), 1);
+            if observe {
+                let das = DasMonitor::new(DasConfig {
+                    buffer_depth: 256,
+                    trigger: Trigger::Immediate,
+                    timeout_cycles: 1_000,
+                });
+                let _ = das.acquire(&mut c).unwrap();
+                c.run(1_000 - 256);
+            } else {
+                c.run(1_000);
+            }
+            c.capture(100)
+        };
+        assert_eq!(trace(true), trace(false));
+    }
+}

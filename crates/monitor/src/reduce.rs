@@ -1,0 +1,230 @@
+//! Reduction of acquisition buffers to event counts.
+//!
+//! § 3.4, Table 1 — "The programs have the ability to ... reduce the
+//! acquired data to appropriate event counts":
+//!
+//! | name | event |
+//! |---|---|
+//! | `num_j`    | number of records with `j` processors active |
+//! | `prof_j`   | number of records with processor `j` active |
+//! | `ceop_j`   | number of records with CE bus opcode = `j` |
+//! | `membop_j` | number of records with memory bus opcode = `j` |
+//!
+//! The derived system measures of Chapter 5 come straight from these:
+//! *CE Bus Busy* is the non-idle fraction of CE-bus cycles averaged over
+//! the eight buses, and *Missrate* is the fraction of total bus cycles
+//! corresponding to cache misses (memory-bus `Fetch` starts per record).
+
+use fx8_sim::opcode::{CeBusOp, MemBusOp};
+use fx8_sim::ProbeWord;
+use serde::{Deserialize, Serialize};
+
+/// The reduced event counts of one or more acquisition buffers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// `num[j]`: records with exactly `j` processors active, `j = 0..=P`.
+    pub num: Vec<u64>,
+    /// `prof[j]`: records in which processor `j` was active.
+    pub prof: Vec<u64>,
+    /// `ceop[op]`: CE-bus cycles (summed over all CE buses) with opcode `op`.
+    pub ceop: [u64; CeBusOp::COUNT],
+    /// `membop[op]`: records with memory-bus opcode `op`.
+    pub membop: [u64; MemBusOp::COUNT],
+    /// Records reduced.
+    pub records: u64,
+    /// CEs in the monitored cluster.
+    pub n_ces: usize,
+}
+
+impl EventCounts {
+    /// An empty accumulator for a cluster of `n_ces` CEs.
+    pub fn empty(n_ces: usize) -> Self {
+        EventCounts {
+            num: vec![0; n_ces + 1],
+            prof: vec![0; n_ces],
+            ceop: [0; CeBusOp::COUNT],
+            membop: [0; MemBusOp::COUNT],
+            records: 0,
+            n_ces,
+        }
+    }
+
+    /// Reduce a buffer of records.
+    pub fn reduce(records: &[ProbeWord], n_ces: usize) -> Self {
+        let mut out = Self::empty(n_ces);
+        out.accumulate(records);
+        out
+    }
+
+    /// Fold more records into the counts.
+    pub fn accumulate(&mut self, records: &[ProbeWord]) {
+        for w in records {
+            let active = w.active_count() as usize;
+            debug_assert!(active <= self.n_ces, "more active CEs than the cluster has");
+            self.num[active.min(self.n_ces)] += 1;
+            for j in 0..self.n_ces {
+                if w.is_active(j) {
+                    self.prof[j] += 1;
+                }
+                self.ceop[w.ce_ops[j].index()] += 1;
+            }
+            self.membop[w.mem_op.index()] += 1;
+            self.records += 1;
+        }
+    }
+
+    /// Merge another reduction (same cluster width) into this one.
+    pub fn merge(&mut self, other: &EventCounts) {
+        assert_eq!(self.n_ces, other.n_ces, "cluster widths differ");
+        for (a, b) in self.num.iter_mut().zip(&other.num) {
+            *a += b;
+        }
+        for (a, b) in self.prof.iter_mut().zip(&other.prof) {
+            *a += b;
+        }
+        for (a, b) in self.ceop.iter_mut().zip(&other.ceop) {
+            *a += b;
+        }
+        for (a, b) in self.membop.iter_mut().zip(&other.membop) {
+            *a += b;
+        }
+        self.records += other.records;
+    }
+
+    /// *CE Bus Busy*: "the fraction of processor-to-cache bus cycles that
+    /// are not idle ... the average value of this fraction over all eight
+    /// busses" (§ 5). Zero for an empty reduction.
+    pub fn ce_bus_busy(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        let busy: u64 = CeBusOp::ALL
+            .iter()
+            .filter(|op| op.is_busy())
+            .map(|op| self.ceop[op.index()])
+            .sum();
+        busy as f64 / (self.records * self.n_ces as u64) as f64
+    }
+
+    /// *Missrate*: "the fraction of total bus cycles corresponding to
+    /// cache misses" — memory-bus fetch starts per record.
+    pub fn missrate(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        self.membop[MemBusOp::Fetch.index()] as f64 / self.records as f64
+    }
+
+    /// Memory-bus utilization (non-idle memory-bus record fraction).
+    pub fn mem_bus_busy(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        let busy: u64 = MemBusOp::ALL
+            .iter()
+            .filter(|op| op.is_busy())
+            .map(|op| self.membop[op.index()])
+            .sum();
+        busy as f64 / self.records as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(mask: u8, ce_op: CeBusOp, mem_op: MemBusOp) -> ProbeWord {
+        let mut w = ProbeWord::idle(0);
+        w.active_mask = mask;
+        for j in 0..8 {
+            if mask & (1 << j) != 0 {
+                w.ce_ops[j] = ce_op;
+            }
+        }
+        w.mem_op = mem_op;
+        w
+    }
+
+    #[test]
+    fn num_counts_by_active_processors() {
+        let records =
+            vec![word(0, CeBusOp::Idle, MemBusOp::Idle), word(0b11, CeBusOp::Read, MemBusOp::Idle)];
+        let c = EventCounts::reduce(&records, 8);
+        assert_eq!(c.num[0], 1);
+        assert_eq!(c.num[2], 1);
+        assert_eq!(c.records, 2);
+        // Conservation: Σ num_j = records.
+        assert_eq!(c.num.iter().sum::<u64>(), c.records);
+    }
+
+    #[test]
+    fn prof_counts_per_processor() {
+        let records = vec![
+            word(0b0000_0001, CeBusOp::Read, MemBusOp::Idle),
+            word(0b1000_0001, CeBusOp::Read, MemBusOp::Idle),
+        ];
+        let c = EventCounts::reduce(&records, 8);
+        assert_eq!(c.prof[0], 2);
+        assert_eq!(c.prof[7], 1);
+        assert_eq!(c.prof[3], 0);
+    }
+
+    #[test]
+    fn ceop_sums_over_all_buses() {
+        let records = vec![word(0b11, CeBusOp::Write, MemBusOp::Idle)];
+        let c = EventCounts::reduce(&records, 8);
+        assert_eq!(c.ceop[CeBusOp::Write.index()], 2);
+        assert_eq!(c.ceop[CeBusOp::Idle.index()], 6);
+        // Conservation: Σ ceop = records * n_ces.
+        assert_eq!(c.ceop.iter().sum::<u64>(), c.records * 8);
+    }
+
+    #[test]
+    fn ce_bus_busy_is_per_bus_average() {
+        // One record, 2 of 8 buses busy: busy = 0.25.
+        let records = vec![word(0b11, CeBusOp::Read, MemBusOp::Idle)];
+        let c = EventCounts::reduce(&records, 8);
+        assert!((c.ce_bus_busy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missrate_counts_fetch_starts_per_record() {
+        let records = vec![
+            word(0, CeBusOp::Idle, MemBusOp::Fetch),
+            word(0, CeBusOp::Idle, MemBusOp::Idle),
+            word(0, CeBusOp::Idle, MemBusOp::WriteBack),
+            word(0, CeBusOp::Idle, MemBusOp::Fetch),
+        ];
+        let c = EventCounts::reduce(&records, 8);
+        assert!((c.missrate() - 0.5).abs() < 1e-12);
+        assert!((c.mem_bus_busy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = EventCounts::reduce(&[word(0b1, CeBusOp::Read, MemBusOp::Fetch)], 8);
+        let mut b = EventCounts::reduce(&[word(0b11, CeBusOp::Write, MemBusOp::Idle)], 8);
+        b.merge(&a);
+        assert_eq!(b.records, 2);
+        assert_eq!(b.num[1], 1);
+        assert_eq!(b.num[2], 1);
+        assert_eq!(b.prof[0], 2);
+        assert_eq!(b.membop[MemBusOp::Fetch.index()], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster widths differ")]
+    fn merge_rejects_width_mismatch() {
+        let a = EventCounts::empty(8);
+        let mut b = EventCounts::empty(4);
+        b.merge(&a);
+    }
+
+    #[test]
+    fn empty_reduction_yields_zero_measures() {
+        let c = EventCounts::empty(8);
+        assert_eq!(c.ce_bus_busy(), 0.0);
+        assert_eq!(c.missrate(), 0.0);
+        assert_eq!(c.mem_bus_busy(), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Acquisition triggers.
+//!
+//! § 3.5: the random-sampling sessions triggered immediately; ten
+//! high-concurrency sessions triggered "when all eight processors in the
+//! Cluster were active", and five transition sessions triggered on "the
+//! transition from eight processors active to a smaller number active".
+
+use fx8_sim::ProbeWord;
+use serde::{Deserialize, Serialize};
+
+/// When the analyzer starts filling its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Capture immediately (random workload sampling).
+    Immediate,
+    /// Capture when every CE in the cluster is concurrent-active.
+    AllCesActive,
+    /// Capture at the cycle activity first drops below full concurrency.
+    TransitionFromFull,
+}
+
+/// Stateful trigger evaluation over the record stream.
+#[derive(Debug, Clone)]
+pub struct TriggerState {
+    trigger: Trigger,
+    n_ces: u32,
+    prev_full: bool,
+}
+
+impl TriggerState {
+    /// Build an evaluator for a cluster of `n_ces` CEs.
+    pub fn new(trigger: Trigger, n_ces: usize) -> Self {
+        TriggerState { trigger, n_ces: n_ces as u32, prev_full: false }
+    }
+
+    /// Feed one record; returns `true` when acquisition must start *at*
+    /// this record (the record is included in the buffer).
+    pub fn fire(&mut self, word: &ProbeWord) -> bool {
+        let active = word.active_count();
+        let full = active == self.n_ces;
+        let fired = match self.trigger {
+            Trigger::Immediate => true,
+            Trigger::AllCesActive => full,
+            Trigger::TransitionFromFull => self.prev_full && active < self.n_ces,
+        };
+        self.prev_full = full;
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(mask: u8) -> ProbeWord {
+        let mut w = ProbeWord::idle(0);
+        w.active_mask = mask;
+        w
+    }
+
+    #[test]
+    fn immediate_always_fires() {
+        let mut t = TriggerState::new(Trigger::Immediate, 8);
+        assert!(t.fire(&word(0)));
+        assert!(t.fire(&word(0xff)));
+    }
+
+    #[test]
+    fn all_active_fires_only_at_full_concurrency() {
+        let mut t = TriggerState::new(Trigger::AllCesActive, 8);
+        assert!(!t.fire(&word(0x7f)));
+        assert!(t.fire(&word(0xff)));
+        assert!(!t.fire(&word(0x01)));
+    }
+
+    #[test]
+    fn transition_fires_on_falling_edge_only() {
+        let mut t = TriggerState::new(Trigger::TransitionFromFull, 8);
+        assert!(!t.fire(&word(0xff)), "full itself is not a transition");
+        assert!(!t.fire(&word(0xff)), "still full");
+        assert!(t.fire(&word(0x7f)), "8 -> 7 is the trigger");
+        assert!(!t.fire(&word(0x3f)), "7 -> 6 is not (not from full)");
+        assert!(!t.fire(&word(0xff)), "rising edge is not");
+        assert!(t.fire(&word(0x00)), "8 -> 0 fires too");
+    }
+
+    #[test]
+    fn transition_respects_cluster_width() {
+        // A 2-CE cluster: full = both active.
+        let mut t = TriggerState::new(Trigger::TransitionFromFull, 2);
+        assert!(!t.fire(&word(0b11)));
+        assert!(t.fire(&word(0b01)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Virtual addresses.
+//!
+//! The FX/8 organizes each virtual address space as 1024 segments of 1024
+//! pages of 4 KB (Appendix C). Every job gets its own address space,
+//! distinguished here by an ASID packed into the high bits, so a single
+//! `u64` identifies a byte uniquely across the whole machine. The shared
+//! cache and the paging layer both key off these values.
+
+use crate::Asid;
+
+/// ASID reserved for the Concentrix kernel / IP-side OS traffic.
+pub const KERNEL_ASID: Asid = 0;
+
+/// Bytes per page (4 KB).
+pub const PAGE_BYTES: u64 = 4096;
+/// Pages per segment.
+pub const PAGES_PER_SEGMENT: u64 = 1024;
+/// Segments per address space.
+pub const SEGMENTS: u64 = 1024;
+/// Bits of within-space offset (1024 * 1024 * 4096 = 2^32).
+pub const SPACE_BITS: u32 = 32;
+
+/// A machine-wide virtual address: `[asid:16][space offset:32]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// Build an address from an ASID and a byte offset within that space.
+    #[inline]
+    pub fn new(asid: Asid, offset: u64) -> Self {
+        debug_assert!(offset < (1u64 << SPACE_BITS), "offset exceeds space");
+        VAddr(((asid as u64) << SPACE_BITS) | offset)
+    }
+
+    /// The owning address space.
+    #[inline]
+    pub fn asid(self) -> Asid {
+        (self.0 >> SPACE_BITS) as Asid
+    }
+
+    /// Byte offset within the owning space.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & ((1u64 << SPACE_BITS) - 1)
+    }
+
+    /// Machine-wide page number (ASID folded in).
+    #[inline]
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_BYTES)
+    }
+
+    /// Segment index within the owning space.
+    #[inline]
+    pub fn segment(self) -> u64 {
+        self.offset() / (PAGE_BYTES * PAGES_PER_SEGMENT)
+    }
+
+    /// Page index within the owning segment.
+    #[inline]
+    pub fn page_in_segment(self) -> u64 {
+        (self.offset() / PAGE_BYTES) % PAGES_PER_SEGMENT
+    }
+
+    /// Cache-line number for a given line size (power of two).
+    #[inline]
+    pub fn line(self, line_bytes: u64) -> LineId {
+        debug_assert!(line_bytes.is_power_of_two());
+        LineId(self.0 / line_bytes)
+    }
+
+    /// Add a byte displacement, staying in the same space.
+    #[inline]
+    pub fn wrapping_add(self, delta: u64) -> Self {
+        let off = (self.offset().wrapping_add(delta)) & ((1u64 << SPACE_BITS) - 1);
+        VAddr::new(self.asid(), off)
+    }
+}
+
+/// A machine-wide page identifier (`VAddr / PAGE_BYTES`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The ASID that owns this page.
+    #[inline]
+    pub fn asid(self) -> Asid {
+        ((self.0 * PAGE_BYTES) >> SPACE_BITS) as Asid
+    }
+
+    /// First byte of the page.
+    #[inline]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_BYTES)
+    }
+}
+
+/// A machine-wide cache-line identifier (`VAddr / line_bytes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(pub u64);
+
+impl LineId {
+    /// First byte of the line.
+    #[inline]
+    pub fn base(self, line_bytes: u64) -> VAddr {
+        VAddr(self.0 * line_bytes)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub fn page(self, line_bytes: u64) -> PageId {
+        PageId(self.0 * line_bytes / PAGE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asid_and_offset_round_trip() {
+        let a = VAddr::new(7, 0x1234_5678);
+        assert_eq!(a.asid(), 7);
+        assert_eq!(a.offset(), 0x1234_5678);
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        let a = VAddr::new(3, 2 * PAGE_BYTES + 17);
+        assert_eq!(a.page().base().offset(), 2 * PAGE_BYTES);
+        assert_eq!(a.page().asid(), 3);
+    }
+
+    #[test]
+    fn segment_decomposition_matches_fx8_geometry() {
+        // Page 1500 of a space sits in segment 1, page 476 of that segment.
+        let a = VAddr::new(1, 1500 * PAGE_BYTES);
+        assert_eq!(a.segment(), 1);
+        assert_eq!(a.page_in_segment(), 1500 - 1024);
+        // Last byte of the space sits in the last segment and page.
+        let z = VAddr::new(1, (1u64 << SPACE_BITS) - 1);
+        assert_eq!(z.segment(), SEGMENTS - 1);
+        assert_eq!(z.page_in_segment(), PAGES_PER_SEGMENT - 1);
+    }
+
+    #[test]
+    fn lines_pack_within_pages() {
+        let line_bytes = 32;
+        let a = VAddr::new(2, 5 * PAGE_BYTES + 3 * line_bytes + 5);
+        let l = a.line(line_bytes);
+        assert_eq!(l.base(line_bytes).offset(), 5 * PAGE_BYTES + 3 * line_bytes);
+        assert_eq!(l.page(line_bytes), a.page());
+    }
+
+    #[test]
+    fn distinct_asids_never_alias() {
+        let a = VAddr::new(1, 0x1000);
+        let b = VAddr::new(2, 0x1000);
+        assert_ne!(a, b);
+        assert_ne!(a.page(), b.page());
+        assert_ne!(a.line(32), b.line(32));
+    }
+
+    #[test]
+    fn wrapping_add_stays_in_space() {
+        let a = VAddr::new(9, (1u64 << SPACE_BITS) - 8);
+        let b = a.wrapping_add(16);
+        assert_eq!(b.asid(), 9);
+        assert_eq!(b.offset(), 8);
+    }
+}

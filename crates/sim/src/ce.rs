@@ -1,0 +1,279 @@
+//! The Computing Element.
+//!
+//! A CE executes an operation stream one bus cycle at a time: compute
+//! instructions retire internally, operand references go through the shared
+//! cache (stalling on misses), instruction fetches filter through the
+//! internal 16 KB icache, and CCB operations (iteration requests,
+//! synchronization) interact with the cluster's concurrency hardware.
+//! The cluster orchestrates the shared resources; this module holds the
+//! per-CE state machine and its bookkeeping.
+
+use crate::addr::LineId;
+use crate::icache::ICache;
+use crate::opcode::CeBusOp;
+use crate::stream::{CodeRegion, Op};
+use crate::{CeId, Cycle};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What the CE is executing on behalf of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CeRole {
+    /// Nothing mounted on this CE (idle with respect to concurrent mode).
+    Inactive,
+    /// The serial portion of the cluster program.
+    ClusterSerial,
+    /// A self-scheduled loop iteration.
+    Worker,
+    /// A detached, exclusively-serial process. Detached processes do not
+    /// assert the CCB activity line (thesis footnote 1).
+    Detached,
+}
+
+/// Fine-grained execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CeState {
+    /// Executing operations.
+    Ready,
+    /// Requesting the next loop iteration from the CCB.
+    AwaitIter,
+    /// Blocked on the CCB synchronization register.
+    AwaitSync {
+        /// Register value required to proceed.
+        target: u64,
+    },
+    /// Took the final iteration; waiting for all iterations to complete
+    /// before continuing serial execution.
+    AwaitJoin,
+    /// Waiting for a cache miss to fill.
+    Stalled {
+        /// Resume cycle.
+        until: Cycle,
+        /// Opcode shown on the CE bus during the resume handshake cycle.
+        resume_op: CeBusOp,
+    },
+    /// Waiting for page-fault service.
+    FaultStalled {
+        /// Resume cycle.
+        until: Cycle,
+    },
+}
+
+/// Per-CE counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CeStats {
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Cycles the CE bus was busy.
+    pub bus_busy_cycles: u64,
+    /// Cycles asserted active on the CCB.
+    pub active_cycles: u64,
+    /// Loop iterations completed.
+    pub iters_completed: u64,
+    /// Cycles stalled on cache misses.
+    pub miss_stall_cycles: u64,
+    /// Cycles stalled on page faults.
+    pub fault_stall_cycles: u64,
+}
+
+/// A Computing Element.
+#[derive(Debug)]
+pub struct Ce {
+    /// This CE's index in the cluster.
+    pub id: CeId,
+    /// Internal instruction cache.
+    pub icache: ICache,
+    /// Current role.
+    pub role: CeRole,
+    /// Current execution state.
+    pub state: CeState,
+    /// Queued operations (refilled from the mounted streams).
+    pub ops: VecDeque<Op>,
+    /// Operation currently in progress (e.g. a load awaiting crossbar grant).
+    pub cur_op: Option<Op>,
+    /// Remaining instructions of the current `Compute` burst.
+    pub compute_left: u32,
+    /// Code region of the mounted stream, if any.
+    pub code: Option<CodeRegion>,
+    /// Instruction-fetch cursor: byte offset within the code footprint.
+    pub fetch_cursor: u64,
+    /// Last instruction line checked against the icache.
+    pub last_fetch_line: Option<LineId>,
+    /// Instruction line that must be fetched from the shared cache before
+    /// execution proceeds.
+    pub pending_ifetch: Option<LineId>,
+    /// Counters.
+    pub stats: CeStats,
+}
+
+impl Ce {
+    /// Build CE `id` with an icache of the given geometry.
+    pub fn new(id: CeId, icache_bytes: u64, icache_line_bytes: u64) -> Self {
+        Ce {
+            id,
+            icache: ICache::new(icache_bytes, icache_line_bytes),
+            role: CeRole::Inactive,
+            state: CeState::Ready,
+            ops: VecDeque::new(),
+            cur_op: None,
+            compute_left: 0,
+            code: None,
+            fetch_cursor: 0,
+            last_fetch_line: None,
+            pending_ifetch: None,
+            stats: CeStats::default(),
+        }
+    }
+
+    /// Mount a new code region (phase change): resets the fetch cursor and
+    /// in-flight work, keeps the icache warm (same address space reuse is
+    /// real; unrelated jobs should call [`Self::flush_icache`] too).
+    pub fn set_code(&mut self, code: CodeRegion) {
+        self.code = Some(code);
+        self.fetch_cursor = 0;
+        self.last_fetch_line = None;
+        self.pending_ifetch = None;
+        self.ops.clear();
+        self.cur_op = None;
+        self.compute_left = 0;
+    }
+
+    /// Drop all mounted work and go inactive.
+    pub fn unmount(&mut self) {
+        self.role = CeRole::Inactive;
+        self.state = CeState::Ready;
+        self.code = None;
+        self.ops.clear();
+        self.cur_op = None;
+        self.compute_left = 0;
+        self.pending_ifetch = None;
+        self.last_fetch_line = None;
+    }
+
+    /// Invalidate the internal icache (context switch to an unrelated job).
+    pub fn flush_icache(&mut self) {
+        self.icache.flush();
+    }
+
+    /// Whether this CE asserts its CCB activity line: it is participating
+    /// in the cluster program (serially or concurrently). Detached and
+    /// inactive CEs do not.
+    pub fn is_ccb_active(&self) -> bool {
+        matches!(self.role, CeRole::ClusterSerial | CeRole::Worker)
+    }
+
+    /// Whether the CE has queued or in-progress work.
+    pub fn has_work(&self) -> bool {
+        self.cur_op.is_some() || !self.ops.is_empty() || self.compute_left > 0
+    }
+
+    /// Advance the instruction-fetch cursor by one instruction and probe
+    /// the icache when crossing into a new fetch line. Returns the line to
+    /// fetch from the shared cache on an icache miss.
+    pub fn ifetch_step(&mut self) -> Option<LineId> {
+        let code = self.code?;
+        let line_bytes = self.icache.line_bytes();
+        let addr = code.base.wrapping_add(self.fetch_cursor);
+        let line = addr.line(line_bytes);
+        self.fetch_cursor = (self.fetch_cursor + code.bytes_per_instr) % code.footprint_bytes.max(1);
+        if self.last_fetch_line == Some(line) {
+            return None;
+        }
+        self.last_fetch_line = Some(line);
+        if self.icache.probe(line) {
+            None
+        } else {
+            Some(line)
+        }
+    }
+
+    /// Complete an instruction fetch: install the line.
+    pub fn ifetch_fill(&mut self, line: LineId) {
+        self.icache.fill(line);
+        if self.pending_ifetch == Some(line) {
+            self.pending_ifetch = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VAddr;
+
+    fn region(footprint: u64) -> CodeRegion {
+        CodeRegion { base: VAddr::new(1, 0), footprint_bytes: footprint, bytes_per_instr: 4 }
+    }
+
+    #[test]
+    fn small_loop_body_stops_missing_after_first_pass() {
+        let mut ce = Ce::new(0, 1024, 32);
+        ce.set_code(region(256)); // 8 icache lines, 64 instructions
+        let mut misses = 0;
+        for _ in 0..64 {
+            if let Some(line) = ce.ifetch_step() {
+                misses += 1;
+                ce.ifetch_fill(line);
+            }
+        }
+        assert_eq!(misses, 8, "first pass: one miss per line");
+        for _ in 0..64 {
+            assert!(ce.ifetch_step().is_none(), "second pass must hit");
+        }
+    }
+
+    #[test]
+    fn huge_code_footprint_keeps_missing() {
+        let mut ce = Ce::new(0, 256, 32); // 8-line icache
+        ce.set_code(region(4096)); // 128 lines > capacity
+        let mut misses = 0;
+        for _ in 0..2048 {
+            if let Some(line) = ce.ifetch_step() {
+                misses += 1;
+                ce.ifetch_fill(line);
+            }
+        }
+        // Two passes over 128 lines through an 8-line direct-mapped cache:
+        // nearly every line crossing misses.
+        assert!(misses > 200, "only {misses} misses");
+    }
+
+    #[test]
+    fn set_code_resets_cursor_but_keeps_icache() {
+        let mut ce = Ce::new(0, 1024, 32);
+        ce.set_code(region(64));
+        while let Some(l) = ce.ifetch_step() {
+            ce.ifetch_fill(l);
+        }
+        ce.set_code(region(64)); // same region again (same job)
+        // Warm icache: no miss on re-entry.
+        assert!(ce.ifetch_step().is_none());
+        ce.flush_icache();
+        ce.set_code(region(64));
+        assert!(ce.ifetch_step().is_some(), "flushed icache must miss");
+    }
+
+    #[test]
+    fn ccb_activity_follows_role() {
+        let mut ce = Ce::new(3, 1024, 32);
+        assert!(!ce.is_ccb_active());
+        ce.role = CeRole::Worker;
+        assert!(ce.is_ccb_active());
+        ce.role = CeRole::ClusterSerial;
+        assert!(ce.is_ccb_active());
+        ce.role = CeRole::Detached;
+        assert!(!ce.is_ccb_active(), "detached processes are not concurrent-active");
+    }
+
+    #[test]
+    fn unmount_clears_work() {
+        let mut ce = Ce::new(0, 1024, 32);
+        ce.set_code(region(64));
+        ce.ops.push_back(Op::Compute(5));
+        ce.cur_op = Some(Op::Compute(1));
+        ce.compute_left = 3;
+        ce.unmount();
+        assert!(!ce.has_work());
+        assert_eq!(ce.role, CeRole::Inactive);
+    }
+}

@@ -1,0 +1,372 @@
+//! Machine configuration.
+//!
+//! Geometry and latency parameters of the measured FX/8, taken from
+//! Appendix C of the thesis and Alliant's FX/Series documentation:
+//! eight CEs, a 128 KB shared cache split over two CPC modules with four-way
+//! interleaving and 32-byte lines, per-CE 16 KB instruction caches, two
+//! 64-bit memory buses to four-way-interleaved main memory, 4 KB pages.
+//! Everything is configurable so tests can shrink the machine and ablation
+//! benches can rewire arbitration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which CE wins when several contend for the same shared resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Fixed priority by CE index (CE 0 always wins).
+    FixedLowFirst,
+    /// Fixed priority wired from both ends of the backplane inward:
+    /// 0, 7, 1, 6, 2, 5, 3, 4 (the CCB grant-chain default).
+    EndsFirst,
+    /// Fixed priority wired from the center of the backplane outward:
+    /// the exact reverse of [`Arbitration::EndsFirst`]. As the crossbar
+    /// default this disfavours CEs 0 and 7 under contention, so they run
+    /// slightly slower and trail at the end of concurrent loops — the
+    /// thesis's own hypothesis for Figure 7 ("if priority schemes favor
+    /// particular processors, [the others] will suffer greater delay,
+    /// increasing the probability that they will trail other processors
+    /// in execution at the end of the loop").
+    CenterFirst,
+    /// Round-robin starting after the previous winner (the "fair" ablation).
+    RoundRobin,
+}
+
+impl Arbitration {
+    /// Priority permutation for `n` CEs; earlier entries win ties.
+    /// For `RoundRobin` the permutation rotates with `rotor`.
+    pub fn order(self, n: usize, rotor: usize) -> Vec<usize> {
+        match self {
+            Arbitration::FixedLowFirst => (0..n).collect(),
+            Arbitration::EndsFirst => {
+                let mut v = Vec::with_capacity(n);
+                let (mut lo, mut hi) = (0usize, n - 1);
+                while lo < hi {
+                    v.push(lo);
+                    v.push(hi);
+                    lo += 1;
+                    hi -= 1;
+                }
+                if lo == hi {
+                    v.push(lo);
+                }
+                v
+            }
+            Arbitration::CenterFirst => {
+                let mut v = Arbitration::EndsFirst.order(n, rotor);
+                v.reverse();
+                v
+            }
+            Arbitration::RoundRobin => (0..n).map(|i| (rotor + 1 + i) % n).collect(),
+        }
+    }
+}
+
+/// Geometry of the shared CE cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes (128 KB on the measured machine).
+    pub total_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Number of interleaved banks (4: two CPC modules × 2 banks each).
+    pub banks: usize,
+    /// Associativity of each bank.
+    pub assoc: usize,
+}
+
+impl CacheGeometry {
+    /// Number of sets per bank.
+    pub fn sets_per_bank(&self) -> usize {
+        (self.total_bytes / self.line_bytes) as usize / self.banks / self.assoc
+    }
+
+    /// Bank servicing a given line (low-order line-interleaving).
+    pub fn bank_of(&self, line: u64) -> usize {
+        (line % self.banks as u64) as usize
+    }
+
+    /// Set index within the bank for a given line.
+    pub fn set_of(&self, line: u64) -> usize {
+        ((line / self.banks as u64) % self.sets_per_bank() as u64) as usize
+    }
+
+    /// Check internal consistency (all powers of two, nonzero).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes {} not a power of two", self.line_bytes));
+        }
+        if self.banks == 0 || !self.banks.is_power_of_two() {
+            return Err(format!("banks {} not a nonzero power of two", self.banks));
+        }
+        if self.assoc == 0 {
+            return Err("assoc must be nonzero".into());
+        }
+        let lines = self.total_bytes / self.line_bytes;
+        if lines == 0 || !lines.is_multiple_of((self.banks * self.assoc) as u64) {
+            return Err(format!(
+                "{} lines do not divide evenly into {} banks x {} ways",
+                lines, self.banks, self.assoc
+            ));
+        }
+        if !self.sets_per_bank().is_power_of_two() {
+            return Err(format!("sets_per_bank {} not a power of two", self.sets_per_bank()));
+        }
+        Ok(())
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of Computing Elements in the cluster (8 on the measured FX/8).
+    pub n_ces: usize,
+    /// Number of Interactive Processors.
+    pub n_ips: usize,
+    /// Per-CE internal instruction cache capacity in bytes (16 KB).
+    pub icache_bytes: u64,
+    /// Per-CE instruction-cache line size in bytes.
+    pub icache_line_bytes: u64,
+    /// Shared CE cache geometry.
+    pub cache: CacheGeometry,
+    /// Cycles for a shared-cache hit to return data to the CE.
+    pub cache_hit_cycles: u64,
+    /// Main-memory access latency in cycles, before bus transfer.
+    pub mem_latency_cycles: u64,
+    /// Number of 64-bit memory buses (2 on the FX/8).
+    pub mem_buses: usize,
+    /// Cycles to move one cache line over a memory bus (32 B over 64 bits = 4).
+    pub line_transfer_cycles: u64,
+    /// Interleave factor of main memory modules.
+    pub mem_interleave: usize,
+    /// Cycles for the CCB to grant one iteration request.
+    pub ccb_grant_cycles: u64,
+    /// Arbitration discipline on the CCB iteration-grant daisy chain.
+    pub ccb_arbitration: Arbitration,
+    /// Grant propagation delay per daisy-chain hop: a grant reaches CE `j`
+    /// after `ccb_chain_hop_cycles * min(j, n-1-j)` extra cycles (0 = no
+    /// propagation modeling; available for ablations).
+    pub ccb_chain_hop_cycles: u64,
+    /// Arbitration discipline at each crossbar cache bank.
+    pub crossbar_arbitration: Arbitration,
+    /// Cycles a CE stalls when it takes a page fault inside a captured
+    /// window (fault service itself proceeds on an IP).
+    pub fault_stall_cycles: u64,
+    /// Total physical memory in bytes (up to 64 MB on the FX/8).
+    pub phys_mem_bytes: u64,
+    /// Nanoseconds per bus cycle, used to convert wall time to cycles.
+    pub ns_per_cycle: u64,
+}
+
+impl MachineConfig {
+    /// The measured machine: a full FX/8 as described in Appendix C.
+    pub fn fx8() -> Self {
+        MachineConfig {
+            n_ces: 8,
+            n_ips: 3,
+            icache_bytes: 16 * 1024,
+            icache_line_bytes: 32,
+            cache: CacheGeometry {
+                total_bytes: 128 * 1024,
+                line_bytes: 32,
+                banks: 4,
+                assoc: 2,
+            },
+            cache_hit_cycles: 1,
+            mem_latency_cycles: 10,
+            mem_buses: 2,
+            line_transfer_cycles: 4,
+            mem_interleave: 4,
+            // The hardware self-scheduler hands out one iteration per
+            // grant period; ~2 us of dispatch overhead per iteration on the
+            // real machine corresponds to roughly a dozen bus cycles. The
+            // serialized channel preserves the EndsFirst start order
+            // through lockstep loop rounds, which is what hands the
+            // leftover iterations to CEs 0 and 7 at loop ends (Figure 7).
+            ccb_grant_cycles: 12,
+            ccb_arbitration: Arbitration::EndsFirst,
+            ccb_chain_hop_cycles: 0,
+            crossbar_arbitration: Arbitration::FixedLowFirst,
+            fault_stall_cycles: 400,
+            phys_mem_bytes: 32 * 1024 * 1024,
+            ns_per_cycle: 170,
+        }
+    }
+
+    /// Extra grant-propagation cycles for CE `ce` (distance from the
+    /// nearer end of the daisy chain).
+    pub fn ccb_chain_delay(&self, ce: usize) -> u64 {
+        self.ccb_chain_hop_cycles * ce.min(self.n_ces - 1 - ce) as u64
+    }
+
+    /// A deliberately tiny machine for unit tests: 2 CEs, 4 KB cache.
+    pub fn tiny() -> Self {
+        MachineConfig {
+            n_ces: 2,
+            n_ips: 1,
+            icache_bytes: 1024,
+            icache_line_bytes: 32,
+            cache: CacheGeometry {
+                total_bytes: 4 * 1024,
+                line_bytes: 32,
+                banks: 2,
+                assoc: 2,
+            },
+            cache_hit_cycles: 1,
+            mem_latency_cycles: 4,
+            mem_buses: 1,
+            line_transfer_cycles: 4,
+            mem_interleave: 2,
+            ccb_grant_cycles: 1,
+            ccb_arbitration: Arbitration::EndsFirst,
+            ccb_chain_hop_cycles: 0,
+            crossbar_arbitration: Arbitration::FixedLowFirst,
+            fault_stall_cycles: 50,
+            phys_mem_bytes: 1024 * 1024,
+            ns_per_cycle: 170,
+        }
+    }
+
+    /// Convert seconds of machine time to bus cycles.
+    pub fn seconds_to_cycles(&self, secs: f64) -> u64 {
+        (secs * 1e9 / self.ns_per_cycle as f64) as u64
+    }
+
+    /// Physical page frames available for resident pages.
+    pub fn phys_frames(&self) -> u64 {
+        self.phys_mem_bytes / crate::addr::PAGE_BYTES
+    }
+
+    /// Validate geometry invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_ces == 0 || self.n_ces > 8 {
+            return Err(format!("n_ces {} out of range 1..=8", self.n_ces));
+        }
+        self.cache.validate()?;
+        if !self.icache_bytes.is_power_of_two() || !self.icache_line_bytes.is_power_of_two() {
+            return Err("icache sizes must be powers of two".into());
+        }
+        if self.mem_buses == 0 {
+            return Err("need at least one memory bus".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::fx8()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx8_config_is_valid_and_matches_appendix_c() {
+        let c = MachineConfig::fx8();
+        c.validate().unwrap();
+        assert_eq!(c.n_ces, 8);
+        assert_eq!(c.cache.total_bytes, 128 * 1024);
+        assert_eq!(c.cache.banks, 4);
+        assert_eq!(c.icache_bytes, 16 * 1024);
+        assert_eq!(c.mem_buses, 2);
+        // 32-byte line over a 64-bit bus takes four transfers.
+        assert_eq!(c.line_transfer_cycles, 4);
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        MachineConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn cache_geometry_partitions_lines() {
+        let g = MachineConfig::fx8().cache;
+        // 128 KB / 32 B = 4096 lines; 4 banks x 2 ways -> 512 sets/bank.
+        assert_eq!(g.sets_per_bank(), 512);
+        // Adjacent lines hit different banks (interleaving).
+        assert_ne!(g.bank_of(0), g.bank_of(1));
+        assert_eq!(g.bank_of(0), g.bank_of(4));
+    }
+
+    #[test]
+    fn geometry_validation_rejects_bad_shapes() {
+        let mut g = MachineConfig::fx8().cache;
+        g.line_bytes = 33;
+        assert!(g.validate().is_err());
+        let mut g2 = MachineConfig::fx8().cache;
+        g2.banks = 3;
+        assert!(g2.validate().is_err());
+        let mut g3 = MachineConfig::fx8().cache;
+        g3.assoc = 0;
+        assert!(g3.validate().is_err());
+    }
+
+    #[test]
+    fn ends_first_order_is_0_7_1_6_2_5_3_4() {
+        assert_eq!(Arbitration::EndsFirst.order(8, 0), vec![0, 7, 1, 6, 2, 5, 3, 4]);
+        assert_eq!(Arbitration::EndsFirst.order(3, 0), vec![0, 2, 1]);
+        assert_eq!(Arbitration::EndsFirst.order(1, 0), vec![0]);
+    }
+
+    #[test]
+    fn center_first_is_reverse_of_ends_first() {
+        assert_eq!(Arbitration::CenterFirst.order(8, 0), vec![4, 3, 5, 2, 6, 1, 7, 0]);
+    }
+
+    #[test]
+    fn chain_delay_is_distance_from_nearer_end() {
+        // Disabled by default (the serialized grant channel is the modeled
+        // dispatch cost)...
+        let c = MachineConfig::fx8();
+        assert_eq!(c.ccb_chain_hop_cycles, 0);
+        assert_eq!(c.ccb_chain_delay(3), 0);
+        // ...but the ablation knob scales with chain distance when set.
+        let mut hopped = MachineConfig::fx8();
+        hopped.ccb_chain_hop_cycles = 2;
+        assert_eq!(hopped.ccb_chain_delay(0), 0);
+        assert_eq!(hopped.ccb_chain_delay(7), 0);
+        assert_eq!(hopped.ccb_chain_delay(1), 2);
+        assert_eq!(hopped.ccb_chain_delay(6), 2);
+        assert_eq!(hopped.ccb_chain_delay(3), 6);
+        assert_eq!(hopped.ccb_chain_delay(4), 6);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        assert_eq!(Arbitration::RoundRobin.order(4, 1), vec![2, 3, 0, 1]);
+        assert_eq!(Arbitration::RoundRobin.order(4, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        for arb in [
+            Arbitration::FixedLowFirst,
+            Arbitration::EndsFirst,
+            Arbitration::CenterFirst,
+            Arbitration::RoundRobin,
+        ] {
+            for n in 1..=8 {
+                for rotor in 0..n {
+                    let mut o = arb.order(n, rotor);
+                    o.sort_unstable();
+                    assert_eq!(o, (0..n).collect::<Vec<_>>(), "{arb:?} n={n} rotor={rotor}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seconds_to_cycles_uses_cycle_time() {
+        let c = MachineConfig::fx8();
+        assert_eq!(c.seconds_to_cycles(1.0), 1_000_000_000 / 170);
+    }
+
+    #[test]
+    fn configs_are_cloneable_and_comparable() {
+        let c = MachineConfig::fx8();
+        assert_eq!(c.clone(), c);
+        assert_ne!(MachineConfig::tiny(), c);
+    }
+}

@@ -1,0 +1,125 @@
+//! Bus opcodes — the signal values the logic-analyzer probes decode.
+//!
+//! The study's probes sat at three points (§ 3.3): the per-CE bus between
+//! each CE and the shared cache (on the CE's side of the crossbar), the
+//! shared memory bus, and the Concurrency Control Bus. Each captured record
+//! contains, per cycle, the opcode on every one of these buses. These enums
+//! are exactly that alphabet; the monitor's event-count reduction (Table 1)
+//! counts records by these values.
+
+use serde::{Deserialize, Serialize};
+
+/// Opcode on a CE↔cache bus for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CeBusOp {
+    /// No transaction.
+    Idle = 0,
+    /// Operand read request or hit-data return.
+    Read = 1,
+    /// Operand write.
+    Write = 2,
+    /// Instruction fetch that missed the internal icache.
+    IFetch = 3,
+    /// Cycle re-issuing a request that is being filled from memory (the CE
+    /// holds the bus while its miss completes its cache-side handshake).
+    MissWait = 4,
+}
+
+impl CeBusOp {
+    /// All opcode values, in encoding order.
+    pub const ALL: [CeBusOp; 5] = [
+        CeBusOp::Idle,
+        CeBusOp::Read,
+        CeBusOp::Write,
+        CeBusOp::IFetch,
+        CeBusOp::MissWait,
+    ];
+
+    /// Number of distinct opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this cycle counts as "busy" for the CE Bus Busy measure
+    /// (the fraction of processor-to-cache bus cycles that are not idle).
+    #[inline]
+    pub fn is_busy(self) -> bool {
+        !matches!(self, CeBusOp::Idle)
+    }
+
+    /// Encoding index (stable across runs; used by the reducer).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Opcode on the shared memory bus for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MemBusOp {
+    /// No transaction on this bus.
+    Idle = 0,
+    /// Cache-line fetch caused by a CE-cache miss. Counting these against
+    /// total CE bus cycles yields the study's Missrate.
+    Fetch = 1,
+    /// Dirty-line write-back from the CE cache.
+    WriteBack = 2,
+    /// IP-cache traffic (interactive / OS work).
+    IpTraffic = 3,
+    /// Coherence transaction: ownership upgrade or cross-cache invalidate
+    /// (the caches must hold a unique copy before modifying a line).
+    Coherence = 4,
+}
+
+impl MemBusOp {
+    /// All opcode values, in encoding order.
+    pub const ALL: [MemBusOp; 5] = [
+        MemBusOp::Idle,
+        MemBusOp::Fetch,
+        MemBusOp::WriteBack,
+        MemBusOp::IpTraffic,
+        MemBusOp::Coherence,
+    ];
+
+    /// Number of distinct opcodes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Whether this cycle counts as busy for memory-bus utilization.
+    #[inline]
+    pub fn is_busy(self) -> bool {
+        !matches!(self, MemBusOp::Idle)
+    }
+
+    /// Encoding index (stable across runs; used by the reducer).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, op) in CeBusOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+        for (i, op) in MemBusOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn only_idle_is_not_busy() {
+        assert!(!CeBusOp::Idle.is_busy());
+        for op in &CeBusOp::ALL[1..] {
+            assert!(op.is_busy());
+        }
+        assert!(!MemBusOp::Idle.is_busy());
+        for op in &MemBusOp::ALL[1..] {
+            assert!(op.is_busy());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The logic-analyzer probe word.
+//!
+//! The DAS 9100 acquired the state of up to 80 signals per record. The
+//! study's probes decoded to: one bus opcode per CE bus (8 × a few bits),
+//! the memory-bus opcode, and one concurrent-activity line per CE from the
+//! Concurrency Control Bus. A [`ProbeWord`] is exactly one such record.
+
+use crate::opcode::{CeBusOp, MemBusOp};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Maximum cluster size the probe word supports.
+pub const MAX_CES: usize = 8;
+
+/// One captured record: the probed signal state at a single bus cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeWord {
+    /// Bus cycle at which this record was captured.
+    pub cycle: Cycle,
+    /// Opcode on each CE↔cache bus.
+    pub ce_ops: [CeBusOp; MAX_CES],
+    /// Opcode on the shared memory bus.
+    pub mem_op: MemBusOp,
+    /// CCB activity lines: bit `j` set iff CE `j` is active in concurrent
+    /// (or cluster-serial) operation. Detached, exclusively-serial processes
+    /// do not assert their line — the thesis's footnote 1.
+    pub active_mask: u8,
+}
+
+impl ProbeWord {
+    /// An all-idle record.
+    pub fn idle(cycle: Cycle) -> Self {
+        ProbeWord {
+            cycle,
+            ce_ops: [CeBusOp::Idle; MAX_CES],
+            mem_op: MemBusOp::Idle,
+            active_mask: 0,
+        }
+    }
+
+    /// Number of CEs whose CCB activity line is asserted.
+    #[inline]
+    pub fn active_count(&self) -> u32 {
+        self.active_mask.count_ones()
+    }
+
+    /// Whether CE `j`'s activity line is asserted.
+    #[inline]
+    pub fn is_active(&self, j: usize) -> bool {
+        debug_assert!(j < MAX_CES);
+        self.active_mask & (1 << j) != 0
+    }
+
+    /// Whether the record shows concurrency (two or more CEs active).
+    #[inline]
+    pub fn is_concurrent(&self) -> bool {
+        self.active_count() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_record_has_no_activity() {
+        let w = ProbeWord::idle(42);
+        assert_eq!(w.cycle, 42);
+        assert_eq!(w.active_count(), 0);
+        assert!(!w.is_concurrent());
+        assert!(w.ce_ops.iter().all(|op| !op.is_busy()));
+    }
+
+    #[test]
+    fn active_mask_counts_and_tests_bits() {
+        let mut w = ProbeWord::idle(0);
+        w.active_mask = 0b1000_0001;
+        assert_eq!(w.active_count(), 2);
+        assert!(w.is_active(0));
+        assert!(w.is_active(7));
+        assert!(!w.is_active(3));
+        assert!(w.is_concurrent());
+        w.active_mask = 0b0000_0100;
+        assert!(!w.is_concurrent());
+    }
+}

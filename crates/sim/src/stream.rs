@@ -1,0 +1,207 @@
+//! The abstract operation stream a CE executes.
+//!
+//! The simulator does not interpret FORTRAN; the workload layer compiles its
+//! kernels down to streams of micro operations — compute bursts, operand
+//! loads/stores with *real addresses*, and CCB synchronization — and the CE
+//! state machine executes them cycle by cycle. Two stream shapes exist,
+//! matching the FX/8's execution model (§ 3.2 of the thesis):
+//!
+//! * [`SerialCode`] — an open-ended instruction stream for serial execution
+//!   (phase boundaries are handled at macro level, outside captured windows);
+//! * [`LoopBody`] — a concurrent DO-loop: the Concurrency Control Bus grants
+//!   iteration indices to CEs in a self-scheduled fashion and the body
+//!   generator materializes the ops for each granted iteration.
+
+use crate::addr::VAddr;
+use crate::CeId;
+
+/// One micro operation in a CE's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute `n` instructions that touch only registers (includes
+    /// register-to-register vector operations, which is why concurrent
+    /// vector code can be bus-quiet). Costs `n` cycles and advances the
+    /// instruction-fetch cursor by `n` instructions.
+    Compute(u32),
+    /// Operand load from an address.
+    Load(VAddr),
+    /// Operand store to an address.
+    Store(VAddr),
+    /// Wait on the CCB synchronization register until it reaches `target`
+    /// (dependence enforcement between loop iterations). Waiting occupies
+    /// the CCB only — the CE↔cache bus stays idle, which is why bus
+    /// activity saturates at high concurrency levels (§ 5.3).
+    AwaitSync(u64),
+    /// Advance the CCB synchronization register to at least `value`.
+    PostSync(u64),
+}
+
+/// Where a stream's code lives, for instruction-cache modeling.
+///
+/// The CE walks an instruction-fetch cursor cyclically through
+/// `[base, base + footprint_bytes)`; fetch lines that miss the 16 KB
+/// internal icache go to the shared cache. Loop bodies that fit the icache
+/// therefore stop generating instruction traffic after the first iteration,
+/// exactly the effect § 5.1 credits for low miss rates under concurrency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeRegion {
+    /// First byte of the code.
+    pub base: VAddr,
+    /// Bytes of straight-line code the cursor cycles through.
+    pub footprint_bytes: u64,
+    /// Bytes advanced per instruction (FX/8 CE instructions average ~4 B).
+    pub bytes_per_instr: u64,
+}
+
+impl CodeRegion {
+    /// A region for tests: 256 instructions at the base of an ASID's space.
+    pub fn test_region(asid: crate::Asid) -> Self {
+        CodeRegion {
+            base: VAddr::new(asid, 0),
+            footprint_bytes: 1024,
+            bytes_per_instr: 4,
+        }
+    }
+}
+
+/// An open-ended serial instruction stream.
+pub trait SerialCode: Send {
+    /// The code region the stream executes from.
+    fn code(&self) -> CodeRegion;
+    /// Append the next block of operations for CE `ce` to `out`.
+    /// Must append at least one op; the cluster calls this whenever the
+    /// CE's op queue runs dry.
+    fn gen_block(&mut self, ce: CeId, out: &mut Vec<Op>);
+}
+
+/// A concurrent DO-loop body.
+pub trait LoopBody: Send {
+    /// The code region of the loop body.
+    fn code(&self) -> CodeRegion;
+    /// Materialize the operations of iteration `iter` as executed on CE
+    /// `ce`, appending to `out`. Iterations may differ (conditional
+    /// branching, boundary rows) — that per-iteration variance is what
+    /// stretches concurrency transitions.
+    fn gen_iteration(&mut self, iter: u64, ce: CeId, out: &mut Vec<Op>);
+}
+
+/// A trivial serial stream for tests: `compute` cycles then one load,
+/// marching through an array with a fixed stride.
+pub struct StridedSerial {
+    /// Code region reported to the CE.
+    pub region: CodeRegion,
+    /// Base of the data array.
+    pub data: VAddr,
+    /// Stride between successive loads, bytes.
+    pub stride: u64,
+    /// Footprint in bytes before wrapping.
+    pub footprint: u64,
+    /// Compute instructions between loads.
+    pub compute: u32,
+    cursor: u64,
+}
+
+impl StridedSerial {
+    /// Create a strided serial stream.
+    pub fn new(region: CodeRegion, data: VAddr, stride: u64, footprint: u64, compute: u32) -> Self {
+        assert!(footprint > 0 && stride > 0);
+        StridedSerial { region, data, stride, footprint, compute, cursor: 0 }
+    }
+}
+
+impl SerialCode for StridedSerial {
+    fn code(&self) -> CodeRegion {
+        self.region
+    }
+
+    fn gen_block(&mut self, _ce: CeId, out: &mut Vec<Op>) {
+        if self.compute > 0 {
+            out.push(Op::Compute(self.compute));
+        }
+        out.push(Op::Load(self.data.wrapping_add(self.cursor)));
+        self.cursor = (self.cursor + self.stride) % self.footprint;
+    }
+}
+
+/// A trivial loop body for tests: per iteration, `compute` instructions,
+/// one load and one store at iteration-indexed addresses.
+pub struct StridedLoop {
+    /// Code region reported to the CE.
+    pub region: CodeRegion,
+    /// Base of the input array.
+    pub src: VAddr,
+    /// Base of the output array.
+    pub dst: VAddr,
+    /// Bytes per element.
+    pub elem: u64,
+    /// Compute instructions per iteration.
+    pub compute: u32,
+}
+
+impl LoopBody for StridedLoop {
+    fn code(&self) -> CodeRegion {
+        self.region
+    }
+
+    fn gen_iteration(&mut self, iter: u64, _ce: CeId, out: &mut Vec<Op>) {
+        if self.compute > 0 {
+            out.push(Op::Compute(self.compute));
+        }
+        out.push(Op::Load(self.src.wrapping_add(iter * self.elem)));
+        out.push(Op::Store(self.dst.wrapping_add(iter * self.elem)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_serial_wraps_at_footprint() {
+        let region = CodeRegion::test_region(1);
+        let mut s = StridedSerial::new(region, VAddr::new(1, 0x10000), 8, 32, 2);
+        let mut out = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..6 {
+            out.clear();
+            s.gen_block(0, &mut out);
+            for op in &out {
+                if let Op::Load(a) = op {
+                    addrs.push(a.offset() - 0x10000);
+                }
+            }
+        }
+        assert_eq!(addrs, vec![0, 8, 16, 24, 0, 8]);
+    }
+
+    #[test]
+    fn strided_loop_addresses_follow_iteration_index() {
+        let region = CodeRegion::test_region(2);
+        let mut b = StridedLoop {
+            region,
+            src: VAddr::new(2, 0),
+            dst: VAddr::new(2, 0x100000),
+            elem: 8,
+            compute: 1,
+        };
+        let mut out = Vec::new();
+        b.gen_iteration(5, 3, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Op::Compute(1),
+                Op::Load(VAddr::new(2, 40)),
+                Op::Store(VAddr::new(2, 0x100000 + 40)),
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_block_always_produces_ops() {
+        let region = CodeRegion::test_region(1);
+        let mut s = StridedSerial::new(region, VAddr::new(1, 0), 8, 64, 0);
+        let mut out = Vec::new();
+        s.gen_block(0, &mut out);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Demand-paged virtual memory.
+//!
+//! The FX/8's virtual address spaces are 1024 segments of 1024 4 KB pages
+//! (Appendix C). This module tracks the machine-wide resident page set with
+//! LRU replacement over the configured physical frames, counts user- and
+//! system-mode page faults per CE (the counters the Concentrix kernel logs
+//! and the study's software instrumentation reads), and supports bulk macro
+//! operations for working-set changes between captured windows.
+
+use crate::addr::PageId;
+use crate::CeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Per-CE fault counters, split by mode as Concentrix logged them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Faults taken in user mode.
+    pub user: u64,
+    /// Faults taken in system mode.
+    pub system: u64,
+}
+
+impl FaultCounts {
+    /// Sum of user and system faults — the study's Page Fault Rate numerator.
+    pub fn total(&self) -> u64 {
+        self.user + self.system
+    }
+}
+
+/// Whether a touch was charged as user- or system-mode work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// User-mode access (application data and code).
+    User,
+    /// System-mode access (kernel buffers, fault handling itself).
+    System,
+}
+
+/// The machine-wide paging state.
+#[derive(Debug)]
+pub struct Vm {
+    frames: usize,
+    /// Resident pages with their last-touch stamps.
+    resident: HashMap<PageId, u64>,
+    /// Lazy min-heap of (Reverse(stamp), page) candidates for eviction.
+    lru: BinaryHeap<(std::cmp::Reverse<u64>, PageId)>,
+    stamp: u64,
+    faults: Vec<FaultCounts>,
+    evictions: u64,
+}
+
+impl Vm {
+    /// Build with `frames` physical page frames and `n_ces` fault counters.
+    pub fn new(frames: u64, n_ces: usize) -> Self {
+        assert!(frames > 0);
+        Vm {
+            frames: frames as usize,
+            resident: HashMap::with_capacity(frames as usize),
+            lru: BinaryHeap::new(),
+            stamp: 0,
+            faults: vec![FaultCounts::default(); n_ces],
+            evictions: 0,
+        }
+    }
+
+    /// Number of pages currently resident.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `page` is resident (no side effects).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Pages evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Fault counters for CE `ce`.
+    pub fn fault_counts(&self, ce: CeId) -> FaultCounts {
+        self.faults[ce]
+    }
+
+    /// Sum of fault counters across all CEs.
+    pub fn total_faults(&self) -> FaultCounts {
+        let mut t = FaultCounts::default();
+        for f in &self.faults {
+            t.user += f.user;
+            t.system += f.system;
+        }
+        t
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Touch `page` on behalf of CE `ce`. Returns `true` if it was
+    /// resident; otherwise counts a fault, makes it resident (evicting the
+    /// LRU page if memory is full) and returns `false`.
+    pub fn touch(&mut self, ce: CeId, page: PageId, mode: FaultMode) -> bool {
+        let stamp = self.next_stamp();
+        if let Some(s) = self.resident.get_mut(&page) {
+            *s = stamp;
+            self.lru.push((std::cmp::Reverse(stamp), page));
+            self.maybe_compact();
+            return true;
+        }
+        match mode {
+            FaultMode::User => self.faults[ce].user += 1,
+            FaultMode::System => self.faults[ce].system += 1,
+        }
+        self.make_resident(page, stamp);
+        false
+    }
+
+    fn make_resident(&mut self, page: PageId, stamp: u64) {
+        while self.resident.len() >= self.frames {
+            self.evict_lru();
+        }
+        self.resident.insert(page, stamp);
+        self.lru.push((std::cmp::Reverse(stamp), page));
+        self.maybe_compact();
+    }
+
+    /// The lazy-deletion heap accumulates one stale entry per re-touch;
+    /// rebuild it from the live map when it outgrows the frame count so
+    /// memory stays bounded over arbitrarily long simulations.
+    fn maybe_compact(&mut self) {
+        if self.lru.len() > 4 * self.frames + 64 {
+            self.lru.clear();
+            self.lru
+                .extend(self.resident.iter().map(|(&p, &s)| (std::cmp::Reverse(s), p)));
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        // Pop stale heap entries until one matches the live stamp.
+        while let Some((std::cmp::Reverse(stamp), page)) = self.lru.pop() {
+            if self.resident.get(&page) == Some(&stamp) {
+                self.resident.remove(&page);
+                self.evictions += 1;
+                return;
+            }
+        }
+        // Heap exhausted but map non-empty (stale entries dropped): rebuild.
+        if let Some((&page, &stamp)) = self.resident.iter().min_by_key(|&(_, &s)| s) {
+            let _ = stamp;
+            self.resident.remove(&page);
+            self.evictions += 1;
+        }
+    }
+
+    /// Macro-level: make a whole working set resident at once, charging
+    /// faults for the pages that were absent. Used by the workload layer at
+    /// phase boundaries between captured windows. Returns how many faulted.
+    pub fn install_set<I: IntoIterator<Item = PageId>>(
+        &mut self,
+        ce: CeId,
+        pages: I,
+        mode: FaultMode,
+    ) -> u64 {
+        let mut faulted = 0;
+        for p in pages {
+            if !self.touch(ce, p, mode) {
+                faulted += 1;
+            }
+        }
+        faulted
+    }
+
+    /// Macro-level: charge faults without touching residency (steady-state
+    /// locality drift integrated analytically between windows).
+    pub fn charge_faults(&mut self, ce: CeId, user: u64, system: u64) {
+        self.faults[ce].user += user;
+        self.faults[ce].system += system;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn first_touch_faults_second_hits() {
+        let mut vm = Vm::new(16, 2);
+        assert!(!vm.touch(0, page(5), FaultMode::User));
+        assert!(vm.touch(0, page(5), FaultMode::User));
+        assert_eq!(vm.fault_counts(0).user, 1);
+        assert_eq!(vm.fault_counts(0).system, 0);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_touched_pages() {
+        let mut vm = Vm::new(2, 1);
+        vm.touch(0, page(1), FaultMode::User);
+        vm.touch(0, page(2), FaultMode::User);
+        vm.touch(0, page(1), FaultMode::User); // refresh 1; 2 is now LRU
+        vm.touch(0, page(3), FaultMode::User); // evicts 2
+        assert!(vm.is_resident(page(1)));
+        assert!(!vm.is_resident(page(2)));
+        assert!(vm.is_resident(page(3)));
+        assert_eq!(vm.evictions(), 1);
+    }
+
+    #[test]
+    fn residency_never_exceeds_frames() {
+        let mut vm = Vm::new(8, 1);
+        for i in 0..1000 {
+            vm.touch(0, page(i % 37), FaultMode::User);
+            assert!(vm.resident_count() <= 8);
+        }
+    }
+
+    #[test]
+    fn fault_modes_split_counters() {
+        let mut vm = Vm::new(4, 2);
+        vm.touch(1, page(10), FaultMode::System);
+        vm.touch(1, page(11), FaultMode::User);
+        let f = vm.fault_counts(1);
+        assert_eq!((f.user, f.system), (1, 1));
+        assert_eq!(f.total(), 2);
+        assert_eq!(vm.fault_counts(0).total(), 0);
+        assert_eq!(vm.total_faults().total(), 2);
+    }
+
+    #[test]
+    fn install_set_counts_only_absent_pages() {
+        let mut vm = Vm::new(16, 1);
+        vm.touch(0, page(1), FaultMode::User);
+        let faulted = vm.install_set(0, (0..4).map(page), FaultMode::User);
+        assert_eq!(faulted, 3);
+        assert_eq!(vm.fault_counts(0).user, 4);
+    }
+
+    #[test]
+    fn charge_faults_is_pure_accounting() {
+        let mut vm = Vm::new(4, 1);
+        vm.charge_faults(0, 100, 7);
+        assert_eq!(vm.fault_counts(0).user, 100);
+        assert_eq!(vm.fault_counts(0).system, 7);
+        assert_eq!(vm.resident_count(), 0);
+    }
+
+    #[test]
+    fn lru_heap_stays_bounded_under_retouching() {
+        let mut vm = Vm::new(8, 1);
+        for i in 0..100_000u64 {
+            vm.touch(0, page(i % 4), FaultMode::User);
+        }
+        assert!(vm.lru.len() <= 4 * 8 + 64, "heap grew to {}", vm.lru.len());
+        // LRU semantics survive compaction.
+        vm.touch(0, page(100), FaultMode::User);
+        assert!(vm.is_resident(page(3)), "recently touched pages stay resident");
+    }
+
+    #[test]
+    fn working_set_larger_than_memory_thrashes() {
+        let mut vm = Vm::new(4, 1);
+        // Cyclic access over 8 pages with 4 frames under LRU: every touch faults.
+        for _ in 0..3 {
+            for i in 0..8 {
+                vm.touch(0, page(i), FaultMode::User);
+            }
+        }
+        assert_eq!(vm.fault_counts(0).user, 24);
+    }
+}

@@ -1,0 +1,162 @@
+//! Edge cases of the cluster's mounting and scheduling machinery.
+
+use fx8_sim::addr::VAddr;
+use fx8_sim::cluster::LoadKind;
+use fx8_sim::stream::{CodeRegion, LoopBody, Op, SerialCode, StridedLoop, StridedSerial};
+use fx8_sim::{CeId, Cluster, MachineConfig};
+
+fn serial(asid: u16) -> Box<dyn SerialCode> {
+    Box::new(StridedSerial::new(
+        CodeRegion { base: VAddr::new(asid, 0), footprint_bytes: 256, bytes_per_instr: 4 },
+        VAddr::new(asid, 0x10_0000),
+        8,
+        2048,
+        4,
+    ))
+}
+
+fn body(asid: u16) -> Box<dyn LoopBody> {
+    Box::new(StridedLoop {
+        region: CodeRegion { base: VAddr::new(asid, 0), footprint_bytes: 256, bytes_per_instr: 4 },
+        src: VAddr::new(asid, 0x20_0000),
+        dst: VAddr::new(asid, 0x30_0000),
+        elem: 8,
+        compute: 60,
+    })
+}
+
+fn quiet_cluster() -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), 7);
+    c.set_ip_intensity(0.0);
+    c
+}
+
+#[test]
+fn serial_mount_avoids_detached_ce() {
+    let mut c = quiet_cluster();
+    c.mount_detached(0, serial(9), 9);
+    // Request CE 0 explicitly: the cluster must pick a free CE instead.
+    c.mount_serial(serial(1), 1, Some(0));
+    let words = c.capture(200);
+    assert!(words.iter().all(|w| !w.is_active(0)), "detached CE0 must stay non-CCB-active");
+    assert!(words.iter().any(|w| w.active_count() == 1), "serial section runs elsewhere");
+}
+
+#[test]
+#[should_panic(expected = "no free CE")]
+fn mounting_with_every_ce_detached_panics() {
+    let mut c = quiet_cluster();
+    for ce in 0..8 {
+        c.mount_detached(ce, serial(9), 9);
+    }
+    c.mount_serial(serial(1), 1, None);
+}
+
+#[test]
+fn empty_tail_loop_promotes_to_serial_immediately() {
+    let mut c = quiet_cluster();
+    // first == total: nothing left to run; the machine must not wedge.
+    c.mount_loop(body(1), 40, 40, serial(1), 1);
+    for _ in 0..2_000 {
+        c.step();
+        if c.load_kind() == LoadKind::Drained {
+            break;
+        }
+    }
+    assert_eq!(c.load_kind(), LoadKind::Drained);
+    let done: u64 = (0..8).map(|i| c.ce_stats(i).iters_completed).sum();
+    assert_eq!(done, 0, "no iterations remained to execute");
+}
+
+#[test]
+fn single_iteration_loop_runs_on_one_ce() {
+    let mut c = quiet_cluster();
+    c.mount_loop(body(1), 0, 1, serial(1), 1);
+    for _ in 0..10_000 {
+        c.step();
+        if c.load_kind() == LoadKind::Drained {
+            break;
+        }
+    }
+    assert_eq!(c.load_kind(), LoadKind::Drained);
+    let per_ce: Vec<u64> = (0..8).map(|i| c.ce_stats(i).iters_completed).collect();
+    assert_eq!(per_ce.iter().sum::<u64>(), 1);
+}
+
+#[test]
+fn clear_detached_frees_the_ce_for_cluster_work() {
+    let mut c = quiet_cluster();
+    c.mount_detached(3, serial(9), 9);
+    c.clear_detached(3);
+    c.mount_loop(body(1), 0, 100_000, serial(1), 1);
+    c.run(500);
+    let w = c.step();
+    assert!(w.is_active(3), "CE3 rejoins the cluster after clear_detached");
+}
+
+#[test]
+fn remount_replaces_previous_work_cleanly() {
+    let mut c = quiet_cluster();
+    c.mount_loop(body(1), 0, 100_000, serial(1), 1);
+    c.run(2_000);
+    // Replace mid-flight with a serial section: all loop state must drop.
+    c.mount_serial(serial(2), 2, Some(5));
+    let words = c.capture(300);
+    for w in &words {
+        assert!(w.active_count() <= 1, "loop must be fully unmounted: {w:?}");
+    }
+    assert_eq!(c.load_kind(), LoadKind::Serial);
+}
+
+#[test]
+fn mount_idle_stops_everything_but_detached() {
+    let mut c = quiet_cluster();
+    c.mount_detached(6, serial(9), 9);
+    c.mount_loop(body(1), 0, 100_000, serial(1), 1);
+    c.run(1_000);
+    c.mount_idle();
+    let words = c.capture(300);
+    for w in &words {
+        assert_eq!(w.active_count(), 0);
+    }
+    // The detached process still computes (bus activity on CE6 possible).
+    assert!(c.ce_stats(6).instrs > 0);
+}
+
+#[test]
+fn sync_ops_outside_a_loop_do_not_wedge_serial_code() {
+    // A malformed stream issuing sync ops while mounted serially: the CCB
+    // has no loop, sync_reached is tolerant, and the machine keeps going.
+    struct Weird(CodeRegion);
+    impl SerialCode for Weird {
+        fn code(&self) -> CodeRegion {
+            self.0
+        }
+        fn gen_block(&mut self, _ce: CeId, out: &mut Vec<Op>) {
+            out.push(Op::PostSync(5));
+            out.push(Op::AwaitSync(3));
+            out.push(Op::Compute(4));
+        }
+    }
+    let mut c = quiet_cluster();
+    let region = CodeRegion { base: VAddr::new(1, 0), footprint_bytes: 128, bytes_per_instr: 4 };
+    c.mount_serial(Box::new(Weird(region)), 1, None);
+    c.run(2_000);
+    assert!(c.ce_stats(0).instrs > 100, "serial stream must keep retiring");
+}
+
+#[test]
+fn loop_after_loop_reuses_warm_caches() {
+    let mut c = quiet_cluster();
+    c.mount_loop(body(1), 0, 2_000, serial(1), 1);
+    c.run(20_000);
+    let misses_first = c.cache_stats().ce_misses;
+    // Remount the same loop: the data is already cached.
+    c.mount_loop(body(1), 0, 2_000, serial(1), 1);
+    c.run(20_000);
+    let misses_second = c.cache_stats().ce_misses - misses_first;
+    assert!(
+        misses_second * 2 < misses_first.max(1),
+        "second pass should be mostly warm: {misses_first} then {misses_second}"
+    );
+}

@@ -1,0 +1,168 @@
+//! Session-level job arrivals.
+//!
+//! The measurement sessions ran "on seven different midweek days, when the
+//! machine is used most heavily" (§ 3.5). Interactive multi-user load is
+//! bursty: busy spells (several users active) alternate with quiet spells.
+//! Arrivals follow a two-state modulated Poisson process; the burstiness is
+//! what makes a large fraction of five-minute samples see no concurrency
+//! at all (Figure 4's 44 % mass at `C_w = 0`) even though the overall
+//! workload is 35 % concurrent.
+
+use fx8_sim::Cycle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-state (busy/quiet) modulated Poisson arrival profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Mean busy-spell length in cycles.
+    pub busy_mean: u64,
+    /// Mean quiet-spell length in cycles.
+    pub quiet_mean: u64,
+    /// Arrival rate during busy spells, jobs per cycle.
+    pub busy_rate: f64,
+    /// Arrival rate during quiet spells, jobs per cycle.
+    pub quiet_rate: f64,
+}
+
+impl LoadProfile {
+    /// A midweek-day profile expressed in minutes and jobs/hour, converted
+    /// with the machine's 170 ns cycle.
+    pub fn from_minutes(
+        busy_min: f64,
+        quiet_min: f64,
+        busy_jobs_per_hour: f64,
+        quiet_jobs_per_hour: f64,
+    ) -> Self {
+        let cyc_per_min = 60.0 * 1e9 / 170.0;
+        LoadProfile {
+            busy_mean: (busy_min * cyc_per_min) as u64,
+            quiet_mean: (quiet_min * cyc_per_min) as u64,
+            busy_rate: busy_jobs_per_hour / (60.0 * cyc_per_min),
+            quiet_rate: quiet_jobs_per_hour / (60.0 * cyc_per_min),
+        }
+    }
+
+    /// Long-run average arrival rate, jobs per cycle.
+    pub fn mean_rate(&self) -> f64 {
+        let b = self.busy_mean as f64;
+        let q = self.quiet_mean as f64;
+        (self.busy_rate * b + self.quiet_rate * q) / (b + q)
+    }
+}
+
+/// Exponential variate with the given mean (inverse-CDF sampling).
+fn exp_sample<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Generate arrival instants over `[0, horizon)`.
+pub fn arrival_times<R: Rng>(profile: &LoadProfile, horizon: Cycle, rng: &mut R) -> Vec<Cycle> {
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    let mut busy = true; // sessions were started during working hours
+    while t < horizon {
+        let (spell_mean, rate) = if busy {
+            (profile.busy_mean as f64, profile.busy_rate)
+        } else {
+            (profile.quiet_mean as f64, profile.quiet_rate)
+        };
+        let spell_end = (t as f64 + exp_sample(rng, spell_mean)).min(horizon as f64);
+        if rate > 0.0 {
+            let mut at = t as f64;
+            loop {
+                at += exp_sample(rng, 1.0 / rate);
+                if at >= spell_end {
+                    break;
+                }
+                out.push(at as Cycle);
+            }
+        }
+        t = spell_end as Cycle;
+        if spell_end >= horizon as f64 {
+            break;
+        }
+        busy = !busy;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn profile() -> LoadProfile {
+        LoadProfile::from_minutes(45.0, 35.0, 12.0, 2.0)
+    }
+
+    #[test]
+    fn minutes_conversion_round_trips() {
+        let p = profile();
+        let cyc_per_min = (60.0 * 1e9 / 170.0) as u64;
+        assert!((p.busy_mean as i64 - (45 * cyc_per_min) as i64).abs() < cyc_per_min as i64);
+        // 12 jobs/hour during busy spells.
+        let per_hour = p.busy_rate * 60.0 * cyc_per_min as f64;
+        assert!((per_hour - 12.0).abs() < 0.5, "{per_hour}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let horizon = profile().busy_mean * 10;
+        let times = arrival_times(&profile(), horizon, &mut rng);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| t < horizon));
+        assert!(!times.is_empty());
+    }
+
+    #[test]
+    fn long_run_rate_approaches_mean_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = profile();
+        // 200 hours of arrivals.
+        let horizon = (200.0 * 60.0 * 60.0 * 1e9 / 170.0) as u64;
+        let times = arrival_times(&p, horizon, &mut rng);
+        let measured = times.len() as f64 / horizon as f64;
+        let expected = p.mean_rate();
+        assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "measured {measured:e}, expected {expected:e}"
+        );
+    }
+
+    #[test]
+    fn burstiness_shows_up_as_interval_variance() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = profile();
+        let horizon = (50.0 * 60.0 * 60.0 * 1e9 / 170.0) as u64;
+        let times = arrival_times(&p, horizon, &mut rng);
+        // Count arrivals per 5-minute window; a modulated process has
+        // super-Poisson variance (variance > mean).
+        let win = (5.0 * 60.0 * 1e9 / 170.0) as u64;
+        let n_win = (horizon / win) as usize;
+        let mut counts = vec![0f64; n_win];
+        for &t in &times {
+            counts[(t / win) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / n_win as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n_win as f64;
+        assert!(var > mean, "var {var} should exceed mean {mean} for a bursty process");
+    }
+
+    #[test]
+    fn zero_rate_profile_generates_nothing() {
+        let p = LoadProfile { busy_mean: 1000, quiet_mean: 1000, busy_rate: 0.0, quiet_rate: 0.0 };
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(arrival_times(&p, 1_000_000, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = arrival_times(&profile(), 10_000_000_000, &mut SmallRng::seed_from_u64(9));
+        let b = arrival_times(&profile(), 10_000_000_000, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

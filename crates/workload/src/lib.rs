@@ -1,0 +1,31 @@
+//! # fx8-workload — a CSRD-style production workload
+//!
+//! The measured FX/8 was "used primarily for development of numerical
+//! applications software. Programs developed on the machine range from
+//! high level software (FORTRAN), such as structural mechanics and circuit
+//! simulation, to assembly-level kernels for linear system solving" (§ 1).
+//! That workload no longer exists; this crate rebuilds its *statistical
+//! shape* as a stochastic job stream over a library of kernels whose
+//! memory behaviour matches the codes the thesis names (BLAS-style panels,
+//! stencil sweeps, recurrences, scalar development work).
+//!
+//! * [`kernels`] — loop and serial kernels compiled to the simulator's
+//!   operation streams, with real addresses (so cache and paging behaviour
+//!   is emergent, not scripted);
+//! * [`program`] — programs as repeated phase sequences with macro-level
+//!   duration and page-fault models;
+//! * [`arrival`] — session-level job arrival processes with busy/quiet
+//!   load phases (weekday burstiness);
+//! * [`scheduler`] — the Concentrix-like session driver: advances macro
+//!   time, mounts the current machine state for captured windows;
+//! * [`mix`] — workload presets, including the calibrated
+//!   [`mix::WorkloadMix::csrd_production`] used for the reproduction.
+
+pub mod arrival;
+pub mod kernels;
+pub mod mix;
+pub mod program;
+pub mod scheduler;
+
+pub use mix::WorkloadMix;
+pub use scheduler::SessionDriver;

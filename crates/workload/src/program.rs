@@ -1,0 +1,504 @@
+//! Programs: repeated phase sequences with macro-level timing.
+//!
+//! A production numerical program alternates serial sections with
+//! concurrent loop nests, usually inside an outer timestep/iteration loop
+//! that repeats the pattern thousands of times. A [`ProgramSpec`] captures
+//! exactly that: groups of phases with repeat counts, plus a macro cost
+//! model (`locate`) that maps an elapsed-cycle offset to the phase and
+//! progress executing at that instant — O(#groups), no per-iteration work —
+//! so a session can fast-forward hours and still mount the precise machine
+//! state for a captured window.
+
+use crate::kernels::{LoopKernel, SerialKernel};
+use fx8_sim::addr::PageId;
+use fx8_sim::Asid;
+use serde::{Deserialize, Serialize};
+
+/// Processors assumed by the macro duration model (the full cluster).
+pub const MACRO_P: u64 = 8;
+
+/// One phase of a program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseSpec {
+    /// A serial section running `cycles` bus cycles.
+    Serial {
+        /// The serial kernel executing.
+        kernel: SerialKernel,
+        /// Macro duration.
+        cycles: u64,
+    },
+    /// A concurrent DO-loop (duration derives from the kernel cost model).
+    Loop {
+        /// The loop kernel executing.
+        kernel: LoopKernel,
+    },
+}
+
+impl PhaseSpec {
+    /// Macro duration of this phase in cycles.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            PhaseSpec::Serial { cycles, .. } => (*cycles).max(1),
+            PhaseSpec::Loop { kernel } => kernel.est_cycles(MACRO_P).max(1),
+        }
+    }
+
+    /// Whether the phase is a concurrent loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, PhaseSpec::Loop { .. })
+    }
+
+    /// Steady-state page-fault drift, faults per million cycles, for the
+    /// kernel class: loops stream data (higher drift), serial code mostly
+    /// revisits its hot set.
+    pub fn fault_drift_per_mcycle(&self) -> f64 {
+        match self {
+            PhaseSpec::Serial { .. } => 0.4,
+            PhaseSpec::Loop { .. } => 3.2,
+        }
+    }
+}
+
+/// A run of phases repeated `repeat` times (a timestep loop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseGroup {
+    /// Number of repetitions.
+    pub repeat: u64,
+    /// The phases of one repetition, in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl PhaseGroup {
+    /// Cycles of one repetition.
+    pub fn rep_cycles(&self) -> u64 {
+        self.phases.iter().map(PhaseSpec::cycles).sum::<u64>().max(1)
+    }
+
+    /// Total cycles of the group.
+    pub fn cycles(&self) -> u64 {
+        self.repeat * self.rep_cycles()
+    }
+}
+
+/// Where a program is at a given elapsed offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Group index.
+    pub group: usize,
+    /// Repetition index within the group.
+    pub rep: u64,
+    /// Phase index within the repetition.
+    pub phase: usize,
+    /// Cycles into the phase.
+    pub offset: u64,
+}
+
+/// A complete program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Program name (job class).
+    pub name: String,
+    /// The phase groups, in order.
+    pub groups: Vec<PhaseGroup>,
+}
+
+impl ProgramSpec {
+    /// Total macro duration.
+    pub fn total_cycles(&self) -> u64 {
+        self.groups.iter().map(PhaseGroup::cycles).sum()
+    }
+
+    /// Fraction of the program's time spent in concurrent loops.
+    pub fn loop_fraction(&self) -> f64 {
+        let total = self.total_cycles().max(1) as f64;
+        let loops: u64 = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.repeat
+                    * g.phases.iter().filter(|p| p.is_loop()).map(PhaseSpec::cycles).sum::<u64>()
+            })
+            .sum();
+        loops as f64 / total
+    }
+
+    /// Mean page-fault drift over the whole program, faults per Mcycle.
+    pub fn mean_drift_per_mcycle(&self) -> f64 {
+        let total = self.total_cycles().max(1) as f64;
+        let weighted: f64 = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.repeat as f64
+                    * g.phases
+                        .iter()
+                        .map(|p| p.cycles() as f64 * p.fault_drift_per_mcycle())
+                        .sum::<f64>()
+            })
+            .sum();
+        weighted / total
+    }
+
+    /// The phase at `pos`.
+    pub fn phase_at(&self, pos: Position) -> &PhaseSpec {
+        &self.groups[pos.group].phases[pos.phase]
+    }
+
+    /// Locate the position executing at elapsed `offset` cycles.
+    /// Clamps to the final instant for offsets past the end.
+    pub fn locate(&self, mut offset: u64) -> Position {
+        for (gi, g) in self.groups.iter().enumerate() {
+            let g_cycles = g.cycles();
+            if offset < g_cycles {
+                let rep_cycles = g.rep_cycles();
+                let rep = offset / rep_cycles;
+                let mut rem = offset % rep_cycles;
+                for (pi, p) in g.phases.iter().enumerate() {
+                    let pc = p.cycles();
+                    if rem < pc {
+                        return Position { group: gi, rep, phase: pi, offset: rem };
+                    }
+                    rem -= pc;
+                }
+                // rep_cycles accounting guarantees we matched a phase.
+                unreachable!("phase walk exceeded repetition");
+            }
+            offset -= g_cycles;
+        }
+        // Past the end: the last instant of the last phase.
+        let gi = self.groups.len() - 1;
+        let g = &self.groups[gi];
+        let pi = g.phases.len() - 1;
+        Position {
+            group: gi,
+            rep: g.repeat - 1,
+            phase: pi,
+            offset: g.phases[pi].cycles() - 1,
+        }
+    }
+
+    /// Elapsed offset at which the phase holding `offset`'s *next*
+    /// concurrent loop ends (the next loop-to-serial transition), if any.
+    pub fn next_loop_end_after(&self, offset: u64) -> Option<u64> {
+        if offset >= self.total_cycles() {
+            return None;
+        }
+        let mut base = 0u64;
+        for g in &self.groups {
+            let g_end = base + g.cycles();
+            if g_end <= offset || !g.phases.iter().any(PhaseSpec::is_loop) {
+                base = g_end;
+                continue;
+            }
+            // Scan from the repetition containing (or following) `offset`;
+            // a group with a loop yields a match within two repetitions.
+            let rep_cycles = g.rep_cycles();
+            let start_rep = offset.saturating_sub(base) / rep_cycles;
+            for rep in start_rep..g.repeat {
+                let mut p_base = base + rep * rep_cycles;
+                for p in &g.phases {
+                    let end = p_base + p.cycles();
+                    if p.is_loop() && end > offset {
+                        return Some(end);
+                    }
+                    p_base = end;
+                }
+            }
+            base = g_end;
+        }
+        None
+    }
+
+    /// Union of the working-set pages of every phase (installed at job
+    /// start, the macro equivalent of first-touch fault bursts).
+    pub fn working_set(&self, asid: Asid) -> Vec<PageId> {
+        let mut pages = Vec::new();
+        for g in &self.groups {
+            for p in &g.phases {
+                match p {
+                    PhaseSpec::Serial { kernel, .. } => pages.extend(kernel.data_pages(asid)),
+                    PhaseSpec::Loop { kernel } => pages.extend(kernel.data_pages(asid)),
+                }
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Named programs — the job classes of the CSRD environment (§ 1).
+// ---------------------------------------------------------------------------
+
+use crate::kernels;
+
+/// Iteration counts favoured by real array dimensioning habits. Boundary
+/// padding (`n + 2` ghost rows) makes counts ≡ 2 (mod 8) common — the
+/// thesis's own first hypothesis for the dominance of two leftover
+/// iterations in concurrency transitions (§ 4.3).
+pub const COMMON_DIMS: &[u64] = &[130, 256, 258, 258, 512, 514, 514, 1024, 1026, 1026, 2050, 258, 1026];
+
+/// Structural mechanics: timestepped stencil sweeps (the codes of CSRD
+/// report 602).
+pub fn structural_mechanics(n: u64, timesteps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("structural-mechanics-{n}"),
+        groups: vec![
+            PhaseGroup {
+                repeat: 1,
+                phases: vec![PhaseSpec::Serial {
+                    kernel: kernels::data_prep(),
+                    cycles: 3_000_000,
+                }],
+            },
+            PhaseGroup {
+                repeat: timesteps,
+                phases: vec![
+                    PhaseSpec::Loop { kernel: kernels::boundary_loop(3 + n % 4) },
+                    PhaseSpec::Loop { kernel: kernels::sor_sweep(n) },
+                    PhaseSpec::Loop { kernel: kernels::fine_grain_loop(n) },
+                    PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 2_500 },
+                ],
+            },
+        ],
+    }
+}
+
+/// Circuit simulation: an independent device-evaluation loop followed by a
+/// dependent solve recurrence each timestep.
+pub fn circuit_simulation(n: u64, timesteps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("circuit-simulation-{n}"),
+        groups: vec![
+            PhaseGroup {
+                repeat: 1,
+                phases: vec![PhaseSpec::Serial {
+                    kernel: kernels::data_prep(),
+                    cycles: 2_000_000,
+                }],
+            },
+            PhaseGroup {
+                repeat: timesteps,
+                phases: vec![
+                    PhaseSpec::Loop { kernel: kernels::sor_sweep(n) },
+                    PhaseSpec::Loop { kernel: kernels::boundary_loop(2 + n % 5) },
+                    PhaseSpec::Loop { kernel: kernels::recurrence(n / 2) },
+                    PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 3_000 },
+                ],
+            },
+        ],
+    }
+}
+
+/// Linear system solving: LU panel factorization sweeps.
+pub fn linear_solver(n: u64, panels: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("linear-solver-{n}"),
+        groups: vec![PhaseGroup {
+            repeat: panels,
+            phases: vec![
+                PhaseSpec::Loop { kernel: kernels::lu_panel(n) },
+                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_500 },
+            ],
+        }],
+    }
+}
+
+/// Matrix kernel benchmarking (BLAS development runs).
+pub fn matrix_benchmark(n: u64, reps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("matrix-benchmark-{n}"),
+        groups: vec![PhaseGroup {
+            repeat: reps,
+            phases: vec![
+                PhaseSpec::Loop { kernel: kernels::matmul(n) },
+                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_200 },
+            ],
+        }],
+    }
+}
+
+/// Vectorization studies: streaming triads and reductions — the
+/// data-intensive tail of the workload.
+pub fn vector_study(blocks: u64, reps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("vector-study-{blocks}"),
+        groups: vec![PhaseGroup {
+            repeat: reps,
+            phases: vec![
+                PhaseSpec::Loop { kernel: kernels::vector_triad(blocks) },
+                PhaseSpec::Loop { kernel: kernels::reduction(blocks) },
+                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_500 },
+            ],
+        }],
+    }
+}
+
+/// Interactive parallel development: run a parallel routine, inspect the
+/// output, run again — loops at roughly half duty cycle with think-time
+/// serial between. The source of mid-`C_w`, low-miss samples.
+pub fn interactive_parallel(n: u64, reps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("interactive-parallel-{n}"),
+        groups: vec![PhaseGroup {
+            repeat: reps,
+            phases: vec![
+                PhaseSpec::Loop { kernel: kernels::interactive_kernel(n) },
+                PhaseSpec::Serial { kernel: kernels::scalar_serial(), cycles: 120_000 },
+            ],
+        }],
+    }
+}
+
+/// Pure development work: editing, compiling — exclusively serial.
+pub fn development(minutes: f64) -> ProgramSpec {
+    let cycles = (minutes * 60.0 * 1e9 / 170.0) as u64;
+    ProgramSpec {
+        name: "development".into(),
+        groups: vec![PhaseGroup {
+            repeat: 1,
+            phases: vec![PhaseSpec::Serial { kernel: kernels::scalar_serial(), cycles }],
+        }],
+    }
+}
+
+/// Post-processing / data analysis: long serial scans with occasional
+/// small reductions.
+pub fn data_analysis(reps: u64) -> ProgramSpec {
+    ProgramSpec {
+        name: "data-analysis".into(),
+        groups: vec![PhaseGroup {
+            repeat: reps,
+            phases: vec![
+                PhaseSpec::Serial { kernel: kernels::data_prep(), cycles: 600_000 },
+                PhaseSpec::Loop { kernel: kernels::chunked_region(6) },
+                PhaseSpec::Serial { kernel: kernels::data_prep(), cycles: 400_000 },
+                PhaseSpec::Loop { kernel: kernels::chunked_region(4) },
+                PhaseSpec::Loop { kernel: kernels::reduction(66) },
+            ],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_add_up() {
+        let p = structural_mechanics(258, 100);
+        let setup = 3_000_000;
+        // One timestep: boundary loop + sweep + fine-grain nest + glue.
+        let rep = kernels::boundary_loop(3 + 258 % 4).est_cycles(8)
+            + kernels::sor_sweep(258).est_cycles(8)
+            + kernels::fine_grain_loop(258).est_cycles(8)
+            + 2_500;
+        assert_eq!(p.groups[1].rep_cycles(), rep);
+        assert_eq!(p.total_cycles(), setup + 100 * rep);
+    }
+
+    #[test]
+    fn locate_walks_groups_reps_and_phases() {
+        let p = structural_mechanics(258, 100);
+        // Offset 0: in the setup serial phase.
+        let pos0 = p.locate(0);
+        assert_eq!((pos0.group, pos0.rep, pos0.phase, pos0.offset), (0, 0, 0, 0));
+        // Just past setup: first loop of rep 0.
+        let pos1 = p.locate(3_000_000);
+        assert_eq!((pos1.group, pos1.rep, pos1.phase), (1, 0, 0));
+        assert!(p.phase_at(pos1).is_loop());
+        // Five cycles into the second phase of the second repetition.
+        let rep = p.groups[1].rep_cycles();
+        let first_phase = p.groups[1].phases[0].cycles();
+        let off = 3_000_000 + rep + first_phase + 5;
+        let pos2 = p.locate(off);
+        assert_eq!((pos2.group, pos2.rep, pos2.phase, pos2.offset), (1, 1, 1, 5));
+    }
+
+    #[test]
+    fn locate_is_consistent_with_cycles() {
+        // Walking every phase boundary lands exactly at offset zero of the
+        // next phase.
+        let p = circuit_simulation(130, 7);
+        let mut boundary = 0u64;
+        for g in &p.groups {
+            for _ in 0..g.repeat {
+                for ph in &g.phases {
+                    let pos = p.locate(boundary);
+                    assert_eq!(pos.offset, 0, "boundary {boundary}");
+                    assert_eq!(p.phase_at(pos).cycles(), ph.cycles());
+                    boundary += ph.cycles();
+                }
+            }
+        }
+        assert_eq!(boundary, p.total_cycles());
+    }
+
+    #[test]
+    fn locate_clamps_past_end() {
+        let p = development(1.0);
+        let pos = p.locate(p.total_cycles() + 999);
+        assert_eq!(pos.group, 0);
+        assert_eq!(pos.offset, p.phase_at(pos).cycles() - 1);
+    }
+
+    #[test]
+    fn next_loop_end_finds_upcoming_transitions() {
+        let p = matrix_benchmark(128, 10);
+        let loop_cycles = kernels::matmul(128).est_cycles(8);
+        // From the very start, the first loop ends at loop_cycles.
+        assert_eq!(p.next_loop_end_after(0), Some(loop_cycles));
+        // From inside the first glue phase, the next end is rep 1's loop.
+        let rep = loop_cycles + 1_200;
+        assert_eq!(p.next_loop_end_after(loop_cycles + 10), Some(rep + loop_cycles));
+        // Past the final loop there is none.
+        assert_eq!(p.next_loop_end_after(p.total_cycles()), None);
+    }
+
+    #[test]
+    fn serial_only_program_has_no_loop_ends() {
+        let p = development(5.0);
+        assert_eq!(p.next_loop_end_after(0), None);
+        assert_eq!(p.loop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn loop_fraction_between_zero_and_one() {
+        for p in [
+            structural_mechanics(258, 50),
+            circuit_simulation(130, 20),
+            linear_solver(256, 30),
+            vector_study(514, 40),
+            data_analysis(5),
+        ] {
+            let f = p.loop_fraction();
+            assert!((0.0..=1.0).contains(&f), "{}: {f}", p.name);
+            assert!(f > 0.0, "{} should contain loops", p.name);
+        }
+    }
+
+    #[test]
+    fn working_set_is_deduplicated_and_owned_by_asid() {
+        let p = vector_study(130, 3);
+        let ws = p.working_set(5);
+        let mut sorted = ws.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ws.len(), "no duplicate pages");
+        assert!(ws.iter().all(|pg| pg.asid() == 5));
+        assert!(!ws.is_empty());
+    }
+
+    #[test]
+    fn drift_is_weighted_by_phase_mix() {
+        let serial_only = development(2.0);
+        let loopy = matrix_benchmark(256, 50);
+        assert!(serial_only.mean_drift_per_mcycle() < loopy.mean_drift_per_mcycle());
+    }
+
+    #[test]
+    fn common_dims_mostly_leave_two_leftover_iterations() {
+        let twos = COMMON_DIMS.iter().filter(|&&d| d % 8 == 2).count();
+        assert!(twos * 2 >= COMMON_DIMS.len(), "residue-2 dims should dominate");
+    }
+}

@@ -1,0 +1,87 @@
+//! The round-boundary mounting invariant: a loop resumed mid-way must keep
+//! the leftover structure (`remaining ≡ iters mod 8`) the real full run
+//! would have had — the precondition for the transition results (§ 4.3).
+
+use fx8_sim::cluster::LoadKind;
+use fx8_sim::{Cluster, MachineConfig};
+use fx8_workload::program::{matrix_benchmark, structural_mechanics};
+use fx8_workload::{kernels, SessionDriver};
+
+fn cluster() -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), 3);
+    c.set_ip_intensity(0.0);
+    c
+}
+
+#[test]
+fn mounted_loops_preserve_the_leftover_residue() {
+    let program = structural_mechanics(258, 20_000);
+    // The loops this program can mount, by trip count.
+    let candidates = [
+        kernels::boundary_loop(3 + 258 % 4).iters,
+        kernels::sor_sweep(258).iters,
+        kernels::fine_grain_loop(258).iters,
+    ];
+    let mut d = SessionDriver::new(cluster(), vec![(0, program)]);
+    let mut checked = 0;
+    // Probe many points through the session; every mounted loop must have
+    // progress on a round boundary for whichever kernel it is.
+    for k in 1..200u64 {
+        d.advance_to(k * 1_000_003);
+        if d.cluster().load_kind() == LoadKind::Loop {
+            let remaining = d.cluster().loop_remaining();
+            let aligned = candidates
+                .iter()
+                .any(|&iters| remaining <= iters && (iters - remaining).is_multiple_of(8));
+            assert!(aligned, "remaining {remaining} matches no round-aligned kernel {candidates:?}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 5, "expected to catch several mounted loops, got {checked}");
+}
+
+#[test]
+fn seek_transition_tail_has_the_loops_own_residue() {
+    let program = matrix_benchmark(258, 50_000);
+    let mut d = SessionDriver::new(cluster(), vec![(0, program)]);
+    for _ in 0..5 {
+        let mounted = d.seek_transition(24, u64::MAX / 2).expect("loops abound");
+        assert_eq!(d.cluster().load_kind(), LoadKind::Loop, "mounted at {mounted}");
+        let remaining = d.cluster().loop_remaining();
+        // matmul-258: 258 ≡ 2 (mod 8); the mounted tail must agree.
+        assert_eq!(remaining % 8, 258 % 8, "tail {remaining} lost the residue");
+        // Let the drain play out so the next seek moves forward.
+        let c = d.cluster_mut();
+        for _ in 0..2_000_000 {
+            c.step();
+            if c.load_kind() == LoadKind::Drained {
+                break;
+            }
+        }
+        assert_eq!(c.load_kind(), LoadKind::Drained);
+    }
+}
+
+#[test]
+fn drained_tail_ends_on_two_leftover_iterations() {
+    // Directly verify the 8k+2 mechanism: a lockstep kernel with residue 2
+    // mounted on a round boundary collapses 8 -> 2 and the 2-state carries
+    // most of the drain.
+    let kernel = kernels::sor_sweep(258);
+    let mut c = cluster();
+    c.mount_loop(kernel.instantiate(1), 258 - 26, 258, kernels::glue_serial().instantiate(1), 1);
+    let mut per_state = [0u64; 9];
+    for _ in 0..2_000_000 {
+        let w = c.step();
+        per_state[w.active_count() as usize] += 1;
+        if c.load_kind() == LoadKind::Drained {
+            break;
+        }
+    }
+    assert_eq!(c.load_kind(), LoadKind::Drained);
+    let transition: u64 = (2..8).map(|j| per_state[j]).sum();
+    assert!(
+        per_state[2] * 2 > transition,
+        "2-active should dominate the drain: {per_state:?}"
+    );
+}

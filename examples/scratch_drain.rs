@@ -1,0 +1,31 @@
+use fx8_study::monitor::{DasConfig, DasMonitor, EventCounts, Trigger};
+use fx8_study::sim::{Cluster, MachineConfig};
+use fx8_study::workload::kernels;
+
+fn main() {
+    for dim in [258u64, 256, 130] {
+        let k = kernels::sor_sweep(dim);
+        let mut pooled = EventCounts::empty(8);
+        for seed in 0..6u64 {
+            let mut c = Cluster::new(MachineConfig::fx8(), seed);
+            c.set_ip_intensity(0.01);
+            c.mount_loop(k.instantiate(1), dim - 48, dim, kernels::glue_serial().instantiate(1), 1);
+            c.run(2048);
+            let das = DasMonitor::new(DasConfig { buffer_depth: 512, trigger: Trigger::TransitionFromFull, timeout_cycles: 400_000 });
+            if let Ok(acq) = das.acquire(&mut c) {
+                pooled.accumulate(&acq.records);
+                if seed == 0 {
+                    // print the active-count timeline compressed
+                    let mut runs: Vec<(u32, u32)> = Vec::new();
+                    for w in &acq.records {
+                        let a = w.active_count();
+                        match runs.last_mut() { Some((v, n)) if *v == a => *n += 1, _ => runs.push((a, 1)) }
+                    }
+                    println!("dim {dim} seed0 timeline: {:?}", &runs[..runs.len().min(30)]);
+                }
+            }
+        }
+        println!("dim {dim}: num={:?}", pooled.num);
+        println!("        prof={:?}", pooled.prof);
+    }
+}

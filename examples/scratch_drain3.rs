@@ -1,0 +1,32 @@
+use fx8_study::sim::cluster::LoadKind;
+use fx8_study::sim::{Cluster, MachineConfig};
+use fx8_study::workload::kernels;
+
+fn main() {
+    for seed in 0..4u64 {
+        let dim = 258u64;
+        let k = kernels::sor_sweep(dim);
+        let mut c = Cluster::new(MachineConfig::fx8(), seed);
+        c.set_ip_intensity(0.01);
+        c.mount_loop(k.instantiate(1), dim - 48, dim, kernels::glue_serial().instantiate(1), 1);
+        // run until drained, recording when each CE's activity line drops
+        let mut last_active = [true; 8];
+        let mut drop_time = [0u64; 8];
+        let mut first_drop = 0u64;
+        for _ in 0..2_000_000 {
+            let w = c.step();
+            for j in 0..8 {
+                let a = w.is_active(j);
+                if last_active[j] && !a {
+                    drop_time[j] = w.cycle;
+                    if first_drop == 0 { first_drop = w.cycle; }
+                }
+                last_active[j] = a;
+            }
+            if c.load_kind() == LoadKind::Drained { break; }
+        }
+        let rel: Vec<i64> = drop_time.iter().map(|&t| if t == 0 { -1 } else { (t - first_drop) as i64 }).collect();
+        let iters: Vec<u64> = (0..8).map(|j| c.ce_stats(j).iters_completed).collect();
+        println!("seed {seed}: drop(rel)={rel:?} iters={iters:?}");
+    }
+}

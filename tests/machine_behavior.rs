@@ -1,0 +1,167 @@
+//! Machine-level behavioral invariants across the workload kernel library:
+//! every kernel must run to completion on the simulated cluster with
+//! conserved iteration counts and sensible probe output.
+
+use fx8_study::monitor::EventCounts;
+use fx8_study::sim::cluster::LoadKind;
+use fx8_study::sim::{Cluster, MachineConfig};
+use fx8_study::workload::kernels::{self, LoopKernel};
+
+fn run_loop_to_drain(kernel: &LoopKernel, iters: u64, seed: u64) -> (Cluster, u64) {
+    let mut c = Cluster::new(MachineConfig::fx8(), seed);
+    c.set_ip_intensity(0.01);
+    c.mount_loop(kernel.instantiate(1), 0, iters, kernels::glue_serial().instantiate(1), 1);
+    let mut steps = 0u64;
+    while c.load_kind() != LoadKind::Drained {
+        c.step();
+        steps += 1;
+        assert!(steps < 20_000_000, "{} did not drain in 20M cycles", kernel.name);
+    }
+    (c, steps)
+}
+
+#[test]
+fn every_loop_kernel_drains_with_exact_iteration_count() {
+    let cases: Vec<LoopKernel> = vec![
+        kernels::matmul(66),
+        kernels::sor_sweep(50),
+        kernels::vector_triad(66),
+        kernels::recurrence(50),
+        kernels::reduction(66),
+        kernels::lu_panel(66),
+    ];
+    for k in cases {
+        let iters = k.iters;
+        let (c, _) = run_loop_to_drain(&k, iters, 7);
+        let done: u64 = (0..8).map(|i| c.ce_stats(i).iters_completed).sum();
+        assert_eq!(done, iters, "{}: wrong iteration count", k.name);
+    }
+}
+
+#[test]
+fn dependent_kernel_serializes_but_terminates() {
+    let k = kernels::recurrence(64);
+    let (c, steps) = run_loop_to_drain(&k, 64, 3);
+    // The dependence must generate synchronization waiting.
+    assert!(c.ccb_stats().sync_wait_cycles > 0);
+    // And the loop must take longer per iteration than an equivalent
+    // independent kernel.
+    let mut indep = kernels::recurrence(64);
+    indep.dependence = None;
+    let (_, steps_indep) = run_loop_to_drain(&indep, 64, 3);
+    assert!(
+        steps > steps_indep,
+        "dependent {} vs independent {} cycles",
+        steps,
+        steps_indep
+    );
+}
+
+#[test]
+fn streaming_kernel_misses_more_than_panel_kernel() {
+    let probe = |k: &LoopKernel| -> f64 {
+        let mut c = Cluster::new(MachineConfig::fx8(), 5);
+        c.set_ip_intensity(0.0);
+        c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+        c.run(20_000);
+        let words = c.capture(4_096);
+        EventCounts::reduce(&words, 8).missrate()
+    };
+    let streaming = probe(&kernels::vector_triad(100_000));
+    let panelled = probe(&kernels::matmul(258));
+    assert!(
+        streaming > 2.0 * panelled,
+        "triad missrate {streaming} should dwarf matmul {panelled}"
+    );
+}
+
+#[test]
+fn serial_execution_touches_only_one_bus() {
+    let mut c = Cluster::new(MachineConfig::fx8(), 2);
+    c.set_ip_intensity(0.0);
+    c.mount_serial(kernels::scalar_serial().instantiate(1), 1, Some(4));
+    c.run(2_000);
+    let words = c.capture(2_000);
+    for w in &words {
+        for j in 0..8 {
+            if j != 4 {
+                assert!(!w.ce_ops[j].is_busy(), "CE {j} busy during serial-on-CE4");
+            }
+        }
+    }
+}
+
+#[test]
+fn icache_absorbs_loop_body_instruction_traffic() {
+    // A loop body that fits the 16 KB icache stops issuing IFetch requests
+    // after its first pass.
+    let k = kernels::sor_sweep(1026); // code_bytes = 1 KB << 16 KB
+    let mut c = Cluster::new(MachineConfig::fx8(), 9);
+    c.set_ip_intensity(0.0);
+    c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+    c.run(50_000); // plenty of passes
+    let words = c.capture(4_096);
+    let counts = EventCounts::reduce(&words, 8);
+    let ifetch = counts.ceop[fx8_study::sim::opcode::CeBusOp::IFetch.index()];
+    let total_busy: u64 = counts.ceop.iter().sum::<u64>()
+        - counts.ceop[fx8_study::sim::opcode::CeBusOp::Idle.index()];
+    assert!(
+        (ifetch as f64) < 0.02 * total_busy as f64,
+        "ifetch {ifetch} of {total_busy} busy cycles — icache not absorbing"
+    );
+}
+
+#[test]
+fn cross_ce_sharing_reduces_missrate_versus_narrow_run() {
+    // The same kernel on 8 CEs should have *at most* proportionally more
+    // misses per record than on 1 CE (shared panel reuse) — Missrate's
+    // P_c-insensitivity in miniature.
+    let missrate_width = |width: usize| -> f64 {
+        let mut c = Cluster::new(MachineConfig::fx8(), 11);
+        c.set_ip_intensity(0.0);
+        struct Quiet(fx8_study::sim::stream::CodeRegion);
+        impl fx8_study::sim::stream::SerialCode for Quiet {
+            fn code(&self) -> fx8_study::sim::stream::CodeRegion {
+                self.0
+            }
+            fn gen_block(
+                &mut self,
+                _ce: usize,
+                out: &mut Vec<fx8_study::sim::stream::Op>,
+            ) {
+                out.push(fx8_study::sim::stream::Op::Compute(64));
+            }
+        }
+        for ce in width..8 {
+            let region = fx8_study::sim::stream::CodeRegion::test_region(9);
+            c.mount_detached(ce, Box::new(Quiet(region)), 9);
+        }
+        let k = kernels::matmul(258);
+        c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+        c.run(30_000);
+        let words = c.capture(4_096);
+        EventCounts::reduce(&words, 8).missrate()
+    };
+    let wide = missrate_width(8);
+    let narrow = missrate_width(2);
+    assert!(
+        wide < narrow * 6.0,
+        "missrate grew superlinearly with width: 2-wide {narrow}, 8-wide {wide}"
+    );
+}
+
+#[test]
+fn tiny_machine_runs_the_same_kernels() {
+    let k = kernels::sor_sweep(50);
+    let mut c = Cluster::new(MachineConfig::tiny(), 1);
+    c.set_ip_intensity(0.0);
+    c.mount_loop(k.instantiate(1), 0, 50, kernels::glue_serial().instantiate(1), 1);
+    let mut steps = 0;
+    while c.load_kind() != LoadKind::Drained && steps < 10_000_000 {
+        c.step();
+        steps += 1;
+    }
+    assert_eq!(c.load_kind(), LoadKind::Drained);
+    let done: u64 = (0..2).map(|i| c.ce_stats(i).iters_completed).sum();
+    assert_eq!(done, 50);
+}

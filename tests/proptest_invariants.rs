@@ -1,0 +1,213 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fx8_study::monitor::EventCounts;
+use fx8_study::sim::addr::{LineId, PageId, VAddr};
+use fx8_study::sim::cache::SetAssocCache;
+use fx8_study::sim::opcode::{CeBusOp, MemBusOp};
+use fx8_study::sim::vm::{FaultMode, Vm};
+use fx8_study::sim::ProbeWord;
+use fx8_study::stats::freq::{midpoints, FreqDist};
+use fx8_study::stats::measures::ConcurrencyMeasures;
+use fx8_study::stats::regression::fit_quadratic;
+use fx8_study::stats::summary::{median, quantile};
+use proptest::prelude::*;
+
+fn probe_word_strategy() -> impl Strategy<Value = ProbeWord> {
+    (
+        any::<u64>(),
+        any::<u8>(),
+        proptest::array::uniform8(0u8..CeBusOp::COUNT as u8),
+        0u8..MemBusOp::COUNT as u8,
+    )
+        .prop_map(|(cycle, mask, ce_ops, mem_op)| {
+            let mut w = ProbeWord::idle(cycle);
+            w.active_mask = mask;
+            for (i, &op) in ce_ops.iter().enumerate() {
+                w.ce_ops[i] = CeBusOp::ALL[op as usize];
+            }
+            w.mem_op = MemBusOp::ALL[mem_op as usize];
+            w
+        })
+}
+
+proptest! {
+    #[test]
+    fn measures_identities_hold(num in proptest::collection::vec(0u64..10_000, 2..9)) {
+        let m = ConcurrencyMeasures::from_counts(&num);
+        let total: u64 = num.iter().sum();
+        if total > 0 {
+            // Σ c_j = 1.
+            prop_assert!((m.c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // C_w = Σ_{j>=2} c_j.
+            let cw: f64 = m.c.iter().skip(2).sum();
+            prop_assert!((m.workload_concurrency - cw).abs() < 1e-12);
+            // P_c within [2, P] iff concurrency exists.
+            match m.mean_concurrency_level {
+                Some(pc) => {
+                    prop_assert!(m.workload_concurrency > 0.0);
+                    prop_assert!(pc >= 2.0 - 1e-12);
+                    prop_assert!(pc <= (num.len() - 1) as f64 + 1e-12);
+                    // Conditional distribution sums to 1.
+                    prop_assert!((m.conditional.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                }
+                None => prop_assert!(m.workload_concurrency == 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn event_count_reduction_conserves_records(
+        words in proptest::collection::vec(probe_word_strategy(), 0..200)
+    ) {
+        let c = EventCounts::reduce(&words, 8);
+        prop_assert_eq!(c.records, words.len() as u64);
+        prop_assert_eq!(c.num.iter().sum::<u64>(), c.records);
+        prop_assert_eq!(c.ceop.iter().sum::<u64>(), c.records * 8);
+        prop_assert_eq!(c.membop.iter().sum::<u64>(), c.records);
+        // prof_j never exceeds records; Σ prof = Σ j*num_j.
+        let weighted: u64 = c.num.iter().enumerate().map(|(j, &n)| j as u64 * n).sum();
+        prop_assert_eq!(c.prof.iter().sum::<u64>(), weighted);
+        for &p in &c.prof {
+            prop_assert!(p <= c.records);
+        }
+        // Measures bounded.
+        prop_assert!((0.0..=1.0).contains(&c.ce_bus_busy()));
+        prop_assert!((0.0..=1.0).contains(&c.mem_bus_busy()));
+    }
+
+    #[test]
+    fn merged_counts_equal_concatenated_reduction(
+        a in proptest::collection::vec(probe_word_strategy(), 0..100),
+        b in proptest::collection::vec(probe_word_strategy(), 0..100),
+    ) {
+        let mut merged = EventCounts::reduce(&a, 8);
+        merged.merge(&EventCounts::reduce(&b, 8));
+        let mut concat = a.clone();
+        concat.extend(b.iter().copied());
+        prop_assert_eq!(merged, EventCounts::reduce(&concat, 8));
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity_and_finds_after_fill(
+        lines in proptest::collection::vec(0u64..64, 1..300)
+    ) {
+        let n_sets = 4;
+        let assoc = 2;
+        let mut cache = SetAssocCache::new(n_sets, assoc);
+        for &l in &lines {
+            let set = (l % n_sets as u64) as usize;
+            let line = LineId(l);
+            if cache.lookup(set, line).is_none() {
+                cache.fill(set, line, l % 3 == 0, false);
+            }
+            // Found immediately after access, always.
+            prop_assert!(cache.contains(set, line));
+            prop_assert!(cache.occupancy() <= n_sets * assoc);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, lines.len() as u64);
+    }
+
+    #[test]
+    fn vm_residency_bounded_and_counts_monotone(
+        pages in proptest::collection::vec(0u64..50, 1..400),
+        frames in 1u64..32,
+    ) {
+        let mut vm = Vm::new(frames, 1);
+        let mut last_faults = 0;
+        for &p in &pages {
+            vm.touch(0, PageId(p), FaultMode::User);
+            prop_assert!(vm.resident_count() as u64 <= frames);
+            let f = vm.fault_counts(0).total();
+            prop_assert!(f >= last_faults);
+            last_faults = f;
+            // The page just touched is always resident afterwards.
+            prop_assert!(vm.is_resident(PageId(p)));
+        }
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_exact_polynomials(
+        b1 in -100.0f64..100.0,
+        b2 in -100.0f64..100.0,
+        c in -100.0f64..100.0,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let x = i as f64 * 0.37;
+                (x, b1 * x + b2 * x * x + c)
+            })
+            .collect();
+        let m = fit_quadratic(&pts).unwrap();
+        let scale = b1.abs().max(b2.abs()).max(c.abs()).max(1.0);
+        prop_assert!((m.b1 - b1).abs() / scale < 1e-6, "b1 {} vs {}", m.b1, b1);
+        prop_assert!((m.b2 - b2).abs() / scale < 1e-6, "b2 {} vs {}", m.b2, b2);
+        prop_assert!((m.c - c).abs() / scale < 1e-6, "c {} vs {}", m.c, c);
+        prop_assert!(m.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn regression_residuals_orthogonal_to_basis(
+        ys in proptest::collection::vec(-50.0f64..50.0, 4..20)
+    ) {
+        let pts: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        let m = fit_quadratic(&pts).unwrap();
+        let (mut r1, mut rx, mut rx2) = (0.0, 0.0, 0.0);
+        let scale: f64 = ys.iter().map(|y| y.abs()).sum::<f64>().max(1.0);
+        for &(x, y) in &pts {
+            let r = y - m.predict(x);
+            r1 += r;
+            rx += r * x;
+            rx2 += r * x * x;
+        }
+        let n3 = (pts.len() as f64).powi(3);
+        prop_assert!(r1.abs() / scale < 1e-6);
+        prop_assert!(rx.abs() / (scale * n3) < 1e-6);
+        prop_assert!(rx2.abs() / (scale * n3 * pts.len() as f64) < 1e-6);
+        prop_assert!(m.r2 <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn freq_distributions_conserve_counts(
+        values in proptest::collection::vec(-2.0f64..3.0, 0..200)
+    ) {
+        let mids = midpoints(0.0, 0.25, 5);
+        let d = FreqDist::from_values(&values, &mids);
+        prop_assert_eq!(d.total() as usize, values.len());
+        let cum = d.cum_freq();
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        if !values.is_empty() {
+            prop_assert!((d.cum_percent().last().unwrap() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo).unwrap();
+        let b = quantile(&values, hi).unwrap();
+        prop_assert!(a <= b);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min && b <= max);
+        let med = median(&values).unwrap();
+        prop_assert!((min..=max).contains(&med));
+    }
+
+    #[test]
+    fn vaddr_round_trips(asid in 0u16..4096, offset in 0u64..(1u64 << 32)) {
+        let a = VAddr::new(asid, offset);
+        prop_assert_eq!(a.asid(), asid);
+        prop_assert_eq!(a.offset(), offset);
+        // Line and page of the address contain the address.
+        let line = a.line(32);
+        prop_assert!(line.base(32).0 <= a.0 && a.0 < line.base(32).0 + 32);
+        let page = a.page();
+        prop_assert!(page.base().0 <= a.0 && a.0 < page.base().0 + 4096);
+    }
+}
