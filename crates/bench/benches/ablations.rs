@@ -83,10 +83,22 @@ fn transition_counts(arb: Arbitration, kernel: &LoopKernel, iters: u64, n: usize
         // drain), then remount the tail: cache contents persist across
         // mounts, and the remount restores the loop's leftover structure
         // (remaining ≡ iters mod 8 on a dispatch-round boundary).
-        cl.mount_loop(kernel.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+        cl.mount_loop(
+            kernel.instantiate(1),
+            0,
+            1_000_000,
+            kernels::glue_serial().instantiate(1),
+            1,
+        );
         cl.run(60_000);
         let first = iters.saturating_sub(48) & !7;
-        cl.mount_loop(kernel.instantiate(1), first, iters, kernels::glue_serial().instantiate(1), 1);
+        cl.mount_loop(
+            kernel.instantiate(1),
+            first,
+            iters,
+            kernels::glue_serial().instantiate(1),
+            1,
+        );
         if let Ok(acq) = das.acquire(&mut cl) {
             pooled.accumulate(&acq.records);
         }
@@ -132,7 +144,13 @@ fn missrate_at_width(kernel_body: Box<dyn LoopBody>, width: usize, seed: u64) ->
     for ce in width..8 {
         cl.mount_detached(ce, Box::new(QuietSerial(region)), 9);
     }
-    cl.mount_loop(kernel_body, 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+    cl.mount_loop(
+        kernel_body,
+        0,
+        1_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
     cl.run(30_000);
     let words = cl.capture(4_096);
     EventCounts::reduce(&words, 8).missrate() / width as f64
@@ -142,10 +160,20 @@ fn ablation_locality(c: &mut Criterion) {
     let kernel = kernels::matmul(258);
     let shared_wide = missrate_at_width(kernel.instantiate(1), 8, 1) * 8.0;
     let shared_narrow = missrate_at_width(kernel.instantiate(1), 2, 1) * 2.0;
-    let private_wide =
-        missrate_at_width(Box::new(PrivatePanels { inner: kernel.instantiate(1) }), 8, 1) * 8.0;
-    let private_narrow =
-        missrate_at_width(Box::new(PrivatePanels { inner: kernel.instantiate(1) }), 2, 1) * 2.0;
+    let private_wide = missrate_at_width(
+        Box::new(PrivatePanels {
+            inner: kernel.instantiate(1),
+        }),
+        8,
+        1,
+    ) * 8.0;
+    let private_narrow = missrate_at_width(
+        Box::new(PrivatePanels {
+            inner: kernel.instantiate(1),
+        }),
+        2,
+        1,
+    ) * 2.0;
     eprintln!(
         "ablation_locality: missrate growth 2->8 CEs — shared panels {:.2}x, private panels {:.2}x",
         shared_wide / shared_narrow.max(1e-9),

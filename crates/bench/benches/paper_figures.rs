@@ -12,7 +12,9 @@ macro_rules! fig_bench {
         fn $fn_name(c: &mut Criterion) {
             let study = shared_quick_study();
             let generator: fn(&Study) -> String = $gen;
-            c.bench_function($bench_name, |b| b.iter(|| black_box(generator(black_box(study)))));
+            c.bench_function($bench_name, |b| {
+                b.iter(|| black_box(generator(black_box(study))))
+            });
         }
     };
 }
@@ -48,7 +50,10 @@ fn fig_a1_a2(c: &mut Criterion) {
     c.bench_function("figA1_A2_per_session_histograms", |b| {
         b.iter(|| {
             black_box(figures::fig_a1_a2(black_box(study), 0));
-            black_box(figures::fig_a1_a2(black_box(study), study.random_sessions.len() - 1));
+            black_box(figures::fig_a1_a2(
+                black_box(study),
+                study.random_sessions.len() - 1,
+            ));
         })
     });
 }

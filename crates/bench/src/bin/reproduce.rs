@@ -11,26 +11,35 @@
 //! `--quick` runs a scaled-down study (seconds instead of minutes);
 //! `--out DIR` additionally writes `report.txt`, `comparison.md` and
 //! `study.json` under DIR.
+//!
+//! `--bench-json` skips the tables and instead measures simulation
+//! throughput, updating `BENCH_throughput.json` at the repo root
+//! (`current` key; `--as-baseline` rewrites `baseline` too).
 
+use fx8_bench::throughput;
 use fx8_core::study::{Study, StudyConfig};
 use fx8_core::{figures, report, tables};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: reproduce [--quick] [--out DIR] [IDS...]\n\
+    "usage: reproduce [--quick] [--out DIR] [--bench-json [--as-baseline]] [IDS...]\n\
      IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 figB1..figB10 comparison"
 }
 
 struct Args {
     quick: bool,
     out: Option<String>,
+    bench_json: bool,
+    as_baseline: bool,
     ids: BTreeSet<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut out = None;
+    let mut bench_json = false;
+    let mut as_baseline = false;
     let mut ids = BTreeSet::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -39,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = Some(argv.next().ok_or("--out requires a directory")?);
             }
+            "--bench-json" => bench_json = true,
+            "--as-baseline" => as_baseline = true,
             "--help" | "-h" => return Err(usage().to_string()),
             id if !id.starts_with('-') => {
                 ids.insert(id.to_ascii_lowercase());
@@ -46,7 +57,37 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Args { quick, out, ids })
+    if as_baseline && !bench_json {
+        return Err(format!("--as-baseline requires --bench-json\n{}", usage()));
+    }
+    Ok(Args {
+        quick,
+        out,
+        bench_json,
+        as_baseline,
+        ids,
+    })
+}
+
+/// Measure throughput and merge into `BENCH_throughput.json` at the repo root.
+fn run_bench_json(as_baseline: bool) -> ExitCode {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    eprintln!("measuring simulation throughput (idle / serial / loop / quick study)...");
+    let current = throughput::measure(1.0, StudyConfig::quick());
+    let previous = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok());
+    let file = throughput::merge(previous, current, as_baseline);
+    print!("{}", throughput::render("baseline", &file.baseline));
+    print!("{}", throughput::render("current", &file.current));
+    println!("loop speedup over baseline: {:.2}x", file.loop_speedup);
+    let json = serde_json::to_string(&file).expect("bench file serializes");
+    if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {path}");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -58,7 +99,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = if args.quick { StudyConfig::quick() } else { StudyConfig::paper() };
+    if args.bench_json {
+        return run_bench_json(args.as_baseline);
+    }
+
+    let cfg = if args.quick {
+        StudyConfig::quick()
+    } else {
+        StudyConfig::paper()
+    };
     eprintln!(
         "running study: {} random sessions, {} triggered, {} transition ({} mode)...",
         cfg.n_random,
@@ -91,7 +140,10 @@ fn main() -> ExitCode {
     emit("table2", tables::table2(&study).render());
     emit("table3", tables::table3(&study).render());
     emit("table4", tables::table4(&study).render());
-    emit("tableA1", tables::render_table_a1(&tables::table_a1(&study)));
+    emit(
+        "tableA1",
+        tables::render_table_a1(&tables::table_a1(&study)),
+    );
     emit("fig3", figures::fig3(&study));
     emit("fig4", figures::fig4(&study));
     emit("fig5", figures::fig5(&study));
@@ -105,7 +157,10 @@ fn main() -> ExitCode {
     emit("fig13", figures::fig13(&study));
     emit("fig14", figures::fig14(&study));
     emit("figA1", figures::fig_a1_a2(&study, 0));
-    emit("figA2", figures::fig_a1_a2(&study, study.random_sessions.len() - 1));
+    emit(
+        "figA2",
+        figures::fig_a1_a2(&study, study.random_sessions.len() - 1),
+    );
     emit("figA3", figures::fig_a3(&study));
     emit("figA4", figures::fig_a4(&study));
     emit("figA5", figures::fig_a5(&study));
@@ -141,7 +196,10 @@ fn write_outputs(
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(format!("{dir}/report.txt"), report_text)?;
-    std::fs::write(format!("{dir}/comparison.md"), report::render_comparison(rows))?;
+    std::fs::write(
+        format!("{dir}/comparison.md"),
+        report::render_comparison(rows),
+    )?;
     let json = serde_json::to_string(study).expect("study serializes");
     std::fs::write(format!("{dir}/study.json"), json)?;
     Ok(())

@@ -5,3 +5,4 @@
 //! them at paper scale. [`helpers`] holds the shared fixtures.
 
 pub mod helpers;
+pub mod throughput;

@@ -1,0 +1,175 @@
+//! Simulation-throughput measurement: cycles simulated per wall-clock
+//! second for the three machine states the workload alternates between,
+//! plus the wall time of a full quick study.
+//!
+//! This is the perf trajectory of the repository: `reproduce --bench-json`
+//! writes the numbers to `BENCH_throughput.json` at the repo root under a
+//! `current` key, preserving the committed `baseline` so speedups and
+//! regressions stay visible across PRs (`--as-baseline` rewrites the
+//! baseline too). The `throughput` bench prints the same measurements.
+
+use fx8_core::study::{Study, StudyConfig};
+use fx8_sim::{Cluster, MachineConfig};
+use fx8_workload::{kernels, WorkloadMix};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One set of throughput measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputNumbers {
+    /// Cycles/sec with no process mounted (IP background traffic only).
+    pub idle_cycles_per_sec: f64,
+    /// Cycles/sec with a serial process on CE 0.
+    pub serial_cycles_per_sec: f64,
+    /// Cycles/sec with a full-width concurrent loop running.
+    pub loop_cycles_per_sec: f64,
+    /// Wall time of `Study::run(StudyConfig::quick())`, seconds.
+    pub quick_study_wall_s: f64,
+}
+
+/// The persisted `BENCH_throughput.json` contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFile {
+    /// Measurement taken before the zero-allocation stepper landed.
+    pub baseline: ThroughputNumbers,
+    /// Measurement for the current tree.
+    pub current: ThroughputNumbers,
+    /// `current.loop_cycles_per_sec / baseline.loop_cycles_per_sec`.
+    pub loop_speedup: f64,
+}
+
+/// A cluster with only IP background traffic.
+pub fn idle_cluster(seed: u64) -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), seed);
+    c.set_ip_intensity(WorkloadMix::csrd_production().ip_intensity);
+    c
+}
+
+/// A cluster running a detached serial process on CE 0.
+pub fn serial_cluster(seed: u64) -> Cluster {
+    let mut c = idle_cluster(seed);
+    c.mount_serial(kernels::scalar_serial().instantiate(1), 1, None);
+    c.run(5_000);
+    c
+}
+
+/// A cluster with a long full-width concurrent loop mounted and warmed.
+pub fn loop_cluster(seed: u64) -> Cluster {
+    let mut c = idle_cluster(seed);
+    let k = kernels::sor_sweep(1026);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
+    c.run(20_000);
+    c
+}
+
+/// Cycles/sec of `Cluster::run` on `cluster`, timed over at least
+/// `min_wall_s` of wall clock in `chunk`-cycle slices.
+pub fn measure_run(cluster: &mut Cluster, chunk: u64, min_wall_s: f64) -> f64 {
+    // Warm the caches and branch predictors before timing.
+    cluster.run(chunk.min(10_000));
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    loop {
+        cluster.run(chunk);
+        cycles += chunk;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_wall_s {
+            return cycles as f64 / elapsed;
+        }
+    }
+}
+
+/// Measure all four numbers. `min_wall_s` bounds the timing window per
+/// machine state; `study_cfg` is the study timed for the last number
+/// (`StudyConfig::quick()` for the persisted measurements — smoke tests
+/// pass something smaller).
+pub fn measure(min_wall_s: f64, study_cfg: StudyConfig) -> ThroughputNumbers {
+    const CHUNK: u64 = 100_000;
+    let idle = measure_run(&mut idle_cluster(1), CHUNK, min_wall_s);
+    let serial = measure_run(&mut serial_cluster(2), CHUNK, min_wall_s);
+    let looped = measure_run(&mut loop_cluster(3), CHUNK, min_wall_s);
+    let t0 = Instant::now();
+    let study = Study::run(study_cfg);
+    let quick_wall = t0.elapsed().as_secs_f64();
+    assert!(study.pooled_counts().records > 0, "study produced no data");
+    ThroughputNumbers {
+        idle_cycles_per_sec: idle,
+        serial_cycles_per_sec: serial,
+        loop_cycles_per_sec: looped,
+        quick_study_wall_s: quick_wall,
+    }
+}
+
+/// Render one measurement as an aligned text block.
+pub fn render(label: &str, n: &ThroughputNumbers) -> String {
+    format!(
+        "{label}:\n  idle:   {:>12.0} cycles/s\n  serial: {:>12.0} cycles/s\n  loop:   {:>12.0} cycles/s\n  quick study: {:.2} s\n",
+        n.idle_cycles_per_sec, n.serial_cycles_per_sec, n.loop_cycles_per_sec, n.quick_study_wall_s
+    )
+}
+
+/// Merge a fresh measurement into the bench file: keep the stored baseline
+/// unless `as_baseline` (or no previous file) makes this run the baseline.
+pub fn merge(
+    previous: Option<BenchFile>,
+    current: ThroughputNumbers,
+    as_baseline: bool,
+) -> BenchFile {
+    let baseline = match previous {
+        Some(prev) if !as_baseline => prev.baseline,
+        _ => current.clone(),
+    };
+    let loop_speedup = current.loop_cycles_per_sec / baseline.loop_cycles_per_sec;
+    BenchFile {
+        baseline,
+        current,
+        loop_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbers(loop_rate: f64) -> ThroughputNumbers {
+        ThroughputNumbers {
+            idle_cycles_per_sec: 1.0,
+            serial_cycles_per_sec: 2.0,
+            loop_cycles_per_sec: loop_rate,
+            quick_study_wall_s: 3.0,
+        }
+    }
+
+    #[test]
+    fn merge_keeps_previous_baseline() {
+        let first = merge(None, numbers(100.0), false);
+        assert_eq!(first.baseline, first.current);
+        assert!((first.loop_speedup - 1.0).abs() < 1e-12);
+        let second = merge(Some(first.clone()), numbers(250.0), false);
+        assert_eq!(second.baseline, numbers(100.0));
+        assert_eq!(second.current, numbers(250.0));
+        assert!((second.loop_speedup - 2.5).abs() < 1e-12);
+        let rebased = merge(Some(second), numbers(300.0), true);
+        assert_eq!(rebased.baseline, numbers(300.0));
+    }
+
+    #[test]
+    fn bench_file_round_trips_as_json() {
+        let f = merge(None, numbers(42.0), true);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: BenchFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn measure_run_reports_positive_rate() {
+        let rate = measure_run(&mut idle_cluster(9), 2_000, 0.01);
+        assert!(rate > 0.0);
+    }
+}

@@ -11,7 +11,7 @@
 
 use crate::sample::Sample;
 use fx8_monitor::{DasConfig, DasMonitor, EventCounts, KernelStats, Trigger};
-use fx8_sim::{Cluster, MachineConfig};
+use fx8_sim::{Cluster, Cycle, MachineConfig};
 use fx8_workload::arrival::arrival_times;
 use fx8_workload::{SessionDriver, WorkloadMix};
 use rand::rngs::SmallRng;
@@ -59,7 +59,10 @@ impl SessionConfig {
 
     /// A scaled-down session for tests and quick runs.
     pub fn quick(seed: u64) -> Self {
-        SessionConfig { hours: 0.5, ..SessionConfig::paper(seed) }
+        SessionConfig {
+            hours: 0.5,
+            ..SessionConfig::paper(seed)
+        }
     }
 
     fn interval_cycles(&self) -> u64 {
@@ -76,8 +79,10 @@ impl SessionConfig {
         cluster.set_ip_intensity(self.mix.ip_intensity);
         let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9));
         let times = arrival_times(&self.mix.profile, self.horizon_cycles(), &mut rng);
-        let arrivals =
-            times.into_iter().map(|t| (t, self.mix.sample_program(&mut rng))).collect();
+        let arrivals = times
+            .into_iter()
+            .map(|t| (t, self.mix.sample_program(&mut rng)))
+            .collect();
         SessionDriver::new(cluster, arrivals)
     }
 }
@@ -116,6 +121,18 @@ impl SessionResult {
     }
 }
 
+/// One captured buffer of a triggered or transition session, reduced to
+/// event counts at acquisition time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Capture {
+    /// Session index (set by the caller).
+    pub session: usize,
+    /// Cycle of the trigger record within the session.
+    pub at_cycle: Cycle,
+    /// Reduced counts of the captured buffer.
+    pub counts: EventCounts,
+}
+
 /// Run one random-sampling session (§ 3.5, first measurement type).
 pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionResult {
     let mut driver = cfg.make_driver();
@@ -141,26 +158,38 @@ pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionRes
             // the macro layer does not simulate. Phases are long relative
             // to the warm-up, so the consumed slice is negligible.
             driver.cluster_mut().run(cfg.warmup_cycles);
-            let acq = das.acquire(driver.cluster_mut()).expect("immediate trigger cannot time out");
-            counts.accumulate(&acq.records);
+            // Streaming acquisition: each record folds straight into the
+            // sample's accumulator; the 512-record buffer never exists.
+            das.acquire_reduced_into(driver.cluster_mut(), &mut counts)
+                .expect("immediate trigger cannot time out");
         }
         // Software measurements are recorded when the hardware sample is
         // stored (§ 3.5): advance to the interval end first.
         driver.advance_to(t0 + interval);
         let kernel = kstats.interval(driver.cluster());
-        samples.push(Sample { session: session_idx, at_cycle: t0, counts, kernel });
+        samples.push(Sample {
+            session: session_idx,
+            at_cycle: t0,
+            counts,
+            kernel,
+        });
     }
 
-    SessionResult { session: session_idx, samples, jobs_completed: driver.completed_jobs() }
+    SessionResult {
+        session: session_idx,
+        samples,
+        jobs_completed: driver.completed_jobs(),
+    }
 }
 
 /// Run one all-active-triggered session (§ 3.5, second measurement type).
-/// Returns the reduced counts of each captured buffer.
+/// Returns the reduced counts of each captured buffer, tagged with the
+/// session index and trigger cycle.
 pub fn run_triggered_session(
     cfg: &SessionConfig,
     session_idx: usize,
     captures: usize,
-) -> Vec<EventCounts> {
+) -> Vec<Capture> {
     let mut driver = cfg.make_driver();
     let das = DasMonitor::new(DasConfig {
         buffer_depth: cfg.buffer_depth,
@@ -170,7 +199,11 @@ pub fn run_triggered_session(
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xfeed);
     let horizon = cfg.horizon_cycles();
     let mut out = Vec::with_capacity(captures);
-    let spacing = horizon / (captures as u64 + 1);
+    // Degenerate horizons (shorter than the capture count) would give a
+    // zero spacing: `t` would never advance and the jitter range below
+    // would be empty. Clamp to one cycle so the loop still terminates via
+    // its attempt budget.
+    let spacing = (horizon / (captures as u64 + 1)).max(1);
     let mut t = spacing;
     let mut attempts = 0usize;
     while out.len() < captures && attempts < captures * 50 {
@@ -187,11 +220,14 @@ pub fn run_triggered_session(
             continue;
         }
         driver.cluster_mut().run(cfg.warmup_cycles);
-        if let Ok(acq) = das.acquire(driver.cluster_mut()) {
-            out.push(EventCounts::reduce(&acq.records, cfg.machine.n_ces));
+        if let Ok(r) = das.acquire_reduced(driver.cluster_mut()) {
+            out.push(Capture {
+                session: session_idx,
+                at_cycle: r.triggered_at,
+                counts: r.counts,
+            });
         }
     }
-    let _ = session_idx;
     out
 }
 
@@ -200,7 +236,7 @@ pub fn run_transition_session(
     cfg: &SessionConfig,
     session_idx: usize,
     captures: usize,
-) -> Vec<EventCounts> {
+) -> Vec<Capture> {
     let mut driver = cfg.make_driver();
     // A tight trigger timeout: if the drain slipped past during warm-up the
     // fastest recovery is rearming at the next loop end, not waiting here.
@@ -226,14 +262,17 @@ pub fn run_transition_session(
         match driver.seek_transition(tail, deadline) {
             Some(_) => {
                 driver.cluster_mut().run(warmup);
-                if let Ok(acq) = das.acquire(driver.cluster_mut()) {
-                    out.push(EventCounts::reduce(&acq.records, cfg.machine.n_ces));
+                if let Ok(r) = das.acquire_reduced(driver.cluster_mut()) {
+                    out.push(Capture {
+                        session: session_idx,
+                        at_cycle: r.triggered_at,
+                        counts: r.counts,
+                    });
                 }
             }
             None => break,
         }
     }
-    let _ = session_idx;
     out
 }
 
@@ -257,7 +296,10 @@ mod tests {
         assert_eq!(r.samples.len(), 1);
         let s = &r.samples[0];
         assert_eq!(s.session, 3);
-        assert_eq!(s.counts.records, (cfg.buffer_depth * cfg.snapshots_per_sample) as u64);
+        assert_eq!(
+            s.counts.records,
+            (cfg.buffer_depth * cfg.snapshots_per_sample) as u64
+        );
         // Conservation through the whole pipeline.
         assert_eq!(s.counts.num.iter().sum::<u64>(), s.counts.records);
     }
@@ -275,12 +317,19 @@ mod tests {
     fn triggered_session_captures_full_concurrency() {
         let mut cfg = tiny_cfg(2);
         cfg.mix = WorkloadMix::all_concurrent();
-        let buffers = run_triggered_session(&cfg, 0, 3);
+        let buffers = run_triggered_session(&cfg, 7, 3);
         assert!(!buffers.is_empty(), "concurrent mix must trigger");
+        let mut last_trigger = 0;
         for b in &buffers {
             // The trigger record has all 8 active; most of the buffer stays
             // at high concurrency.
-            assert!(b.num[8] > 0, "captured buffer contains 8-active records");
+            assert!(
+                b.counts.num[8] > 0,
+                "captured buffer contains 8-active records"
+            );
+            assert_eq!(b.session, 7, "captures carry the session index");
+            assert!(b.at_cycle > last_trigger, "trigger cycles are increasing");
+            last_trigger = b.at_cycle;
         }
     }
 
@@ -288,15 +337,33 @@ mod tests {
     fn transition_session_captures_drains() {
         let mut cfg = tiny_cfg(3);
         cfg.mix = WorkloadMix::all_concurrent();
-        let buffers = run_transition_session(&cfg, 0, 3);
+        let buffers = run_transition_session(&cfg, 4, 3);
         assert!(!buffers.is_empty(), "loops must drain");
+        assert!(
+            buffers.iter().all(|b| b.session == 4),
+            "captures carry the session index"
+        );
         let mut pooled = EventCounts::empty(8);
         for b in &buffers {
-            pooled.merge(b);
+            pooled.merge(&b.counts);
         }
         // Drain windows are dominated by sub-full concurrency records.
         let partial: u64 = (1..8).map(|j| pooled.num[j]).sum();
-        assert!(partial > 0, "transition buffers show partial concurrency: {:?}", pooled.num);
+        assert!(
+            partial > 0,
+            "transition buffers show partial concurrency: {:?}",
+            pooled.num
+        );
+    }
+
+    #[test]
+    fn triggered_session_survives_degenerate_horizon() {
+        // A horizon shorter than the capture count makes the nominal
+        // spacing zero; the clamp keeps the probe loop advancing so the
+        // session terminates (returning whatever it managed to capture).
+        let mut cfg = tiny_cfg(5);
+        cfg.hours = 0.0;
+        let _ = run_triggered_session(&cfg, 0, 4);
     }
 
     #[test]
@@ -304,6 +371,9 @@ mod tests {
         let mut cfg = tiny_cfg(4);
         cfg.mix = WorkloadMix::all_serial();
         let buffers = run_triggered_session(&cfg, 0, 2);
-        assert!(buffers.is_empty(), "serial-only workload cannot reach 8-active");
+        assert!(
+            buffers.is_empty(),
+            "serial-only workload cannot reach 8-active"
+        );
     }
 }

@@ -31,8 +31,11 @@ pub fn fig3(study: &Study) -> String {
 
 /// Figure 4 data: distribution of samples by Workload Concurrency.
 pub fn fig4_dist(study: &Study) -> FreqDist {
-    let cw: Vec<f64> =
-        study.all_samples().iter().map(|s| s.workload_concurrency()).collect();
+    let cw: Vec<f64> = study
+        .all_samples()
+        .iter()
+        .map(|s| s.workload_concurrency())
+        .collect();
     FreqDist::from_values(&cw, &midpoints(0.0, 0.125, 9))
 }
 
@@ -103,13 +106,27 @@ fn hw_samples(study: &Study) -> Vec<Sample> {
 /// Figure 8: scatter of Missrate vs Workload Concurrency.
 pub fn fig8(study: &Study) -> String {
     let pts = points_vs_cw(&hw_samples(study), Sample::missrate);
-    scatter("Figure 8. Missrate vs. Workload Concurrency", &pts, "C_w", "MISSRATE", PLOT_W, PLOT_H)
+    scatter(
+        "Figure 8. Missrate vs. Workload Concurrency",
+        &pts,
+        "C_w",
+        "MISSRATE",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Figure 9: scatter of Missrate vs Mean Concurrency Level.
 pub fn fig9(study: &Study) -> String {
     let pts = points_vs_pc(&hw_samples(study), Sample::missrate);
-    scatter("Figure 9. Missrate vs. Mean Concurrency Level", &pts, "P_c", "MISSRATE", PLOT_W, PLOT_H)
+    scatter(
+        "Figure 9. Missrate vs. Mean Concurrency Level",
+        &pts,
+        "P_c",
+        "MISSRATE",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Band boundaries the thesis used for `C_w` (Figures 10, B.3, B.7).
@@ -164,8 +181,11 @@ fn render_bands(
 ) -> String {
     let samples = hw_samples(study);
     let mut out = String::new();
-    let (bands, x_name): (&[(f64, f64)], &str) =
-        if by_cw { (&CW_BANDS, "Cw") } else { (&PC_BANDS, "Pc") };
+    let (bands, x_name): (&[(f64, f64)], &str) = if by_cw {
+        (&CW_BANDS, "Cw")
+    } else {
+        (&PC_BANDS, "Pc")
+    };
     for (i, &band) in bands.iter().enumerate() {
         let label = (b'a' + i as u8) as char;
         let hi = if band.1.is_infinite() {
@@ -197,16 +217,28 @@ pub fn missrate_midpoints() -> Vec<f64> {
 
 /// Figure 10 (a–c): Missrate distributions binned by `C_w` band.
 pub fn fig10(study: &Study) -> String {
-    render_bands(study, "10", "Miss Rate", true, Sample::missrate, &missrate_midpoints(), |m| {
-        format!("{m:.2}")
-    })
+    render_bands(
+        study,
+        "10",
+        "Miss Rate",
+        true,
+        Sample::missrate,
+        &missrate_midpoints(),
+        |m| format!("{m:.2}"),
+    )
 }
 
 /// Figure 11 (a–c): Missrate distributions binned by `P_c` band.
 pub fn fig11(study: &Study) -> String {
-    render_bands(study, "11", "Miss Rate", false, Sample::missrate, &missrate_midpoints(), |m| {
-        format!("{m:.2}")
-    })
+    render_bands(
+        study,
+        "11",
+        "Miss Rate",
+        false,
+        Sample::missrate,
+        &missrate_midpoints(),
+        |m| format!("{m:.2}"),
+    )
 }
 
 /// Figure 12: the fitted Missrate-vs-`C_w` model curve.
@@ -263,35 +295,69 @@ pub fn fig_a1_a2(study: &Study, session: usize) -> String {
 
 /// Figure A.3: distribution of samples by CE Bus Busy.
 pub fn fig_a3(study: &Study) -> String {
-    let vals: Vec<f64> = study.all_samples().iter().map(|s| s.ce_bus_busy()).collect();
+    let vals: Vec<f64> = study
+        .all_samples()
+        .iter()
+        .map(|s| s.ce_bus_busy())
+        .collect();
     let d = FreqDist::from_values(&vals, &midpoints(0.0, 0.05, 11));
-    hbar(&d, "Figure A.3. Distribution of Samples by CE Bus Busy", |m| format!("{m:.2}"))
+    hbar(
+        &d,
+        "Figure A.3. Distribution of Samples by CE Bus Busy",
+        |m| format!("{m:.2}"),
+    )
 }
 
 /// Figure A.4: distribution of samples by Miss Rate.
 pub fn fig_a4(study: &Study) -> String {
     let vals: Vec<f64> = study.all_samples().iter().map(|s| s.missrate()).collect();
     let d = FreqDist::from_values(&vals, &missrate_midpoints());
-    hbar(&d, "Figure A.4. Distribution of Samples by Miss Rate", |m| format!("{m:.2}"))
+    hbar(
+        &d,
+        "Figure A.4. Distribution of Samples by Miss Rate",
+        |m| format!("{m:.2}"),
+    )
 }
 
 /// Figure A.5: distribution of samples by Page Fault Rate.
 pub fn fig_a5(study: &Study) -> String {
-    let vals: Vec<f64> = study.all_samples().iter().map(|s| s.page_fault_rate()).collect();
+    let vals: Vec<f64> = study
+        .all_samples()
+        .iter()
+        .map(|s| s.page_fault_rate())
+        .collect();
     let d = FreqDist::from_values(&vals, &midpoints(0.0, 1000.0, 25));
-    hbar(&d, "Figure A.5. Distribution of Samples by Page Fault Rate", |m| format!("{m:.0}"))
+    hbar(
+        &d,
+        "Figure A.5. Distribution of Samples by Page Fault Rate",
+        |m| format!("{m:.0}"),
+    )
 }
 
 /// Figure B.1: scatter of CE Bus Busy vs Workload Concurrency.
 pub fn fig_b1(study: &Study) -> String {
     let pts = points_vs_cw(&hw_samples(study), Sample::ce_bus_busy);
-    scatter("Figure B.1. CE Bus Busy vs. Workload Concurrency", &pts, "C_w", "CE BUS BUSY", PLOT_W, PLOT_H)
+    scatter(
+        "Figure B.1. CE Bus Busy vs. Workload Concurrency",
+        &pts,
+        "C_w",
+        "CE BUS BUSY",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Figure B.2: scatter of CE Bus Busy vs Mean Concurrency Level.
 pub fn fig_b2(study: &Study) -> String {
     let pts = points_vs_pc(&hw_samples(study), Sample::ce_bus_busy);
-    scatter("Figure B.2. CE Bus Busy vs. Mean Concurrency Level", &pts, "P_c", "CE BUS BUSY", PLOT_W, PLOT_H)
+    scatter(
+        "Figure B.2. CE Bus Busy vs. Mean Concurrency Level",
+        &pts,
+        "P_c",
+        "CE BUS BUSY",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Midpoints for CE-bus-busy distributions (0.0..1.0 step 0.1).
@@ -301,16 +367,28 @@ pub fn busy_midpoints() -> Vec<f64> {
 
 /// Figure B.3 (a–c): CE Bus Busy distributions binned by `C_w` band.
 pub fn fig_b3(study: &Study) -> String {
-    render_bands(study, "B.3", "CE Bus Busy", true, Sample::ce_bus_busy, &busy_midpoints(), |m| {
-        format!("{m:.1}")
-    })
+    render_bands(
+        study,
+        "B.3",
+        "CE Bus Busy",
+        true,
+        Sample::ce_bus_busy,
+        &busy_midpoints(),
+        |m| format!("{m:.1}"),
+    )
 }
 
 /// Figure B.4 (a–c): CE Bus Busy distributions binned by `P_c` band.
 pub fn fig_b4(study: &Study) -> String {
-    render_bands(study, "B.4", "CE Bus Busy", false, Sample::ce_bus_busy, &busy_midpoints(), |m| {
-        format!("{m:.1}")
-    })
+    render_bands(
+        study,
+        "B.4",
+        "CE Bus Busy",
+        false,
+        Sample::ce_bus_busy,
+        &busy_midpoints(),
+        |m| format!("{m:.1}"),
+    )
 }
 
 /// Figure B.5: scatter of Page Fault Rate vs Workload Concurrency
@@ -318,14 +396,28 @@ pub fn fig_b4(study: &Study) -> String {
 pub fn fig_b5(study: &Study) -> String {
     let (random, _) = analysis_samples(study);
     let pts = points_vs_cw(&random, Sample::page_fault_rate);
-    scatter("Figure B.5. Page Fault Rate vs. Workload Concurrency", &pts, "C_w", "CE PAGE FAULT", PLOT_W, PLOT_H)
+    scatter(
+        "Figure B.5. Page Fault Rate vs. Workload Concurrency",
+        &pts,
+        "C_w",
+        "CE PAGE FAULT",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Figure B.6: scatter of Page Fault Rate vs Mean Concurrency Level.
 pub fn fig_b6(study: &Study) -> String {
     let (random, _) = analysis_samples(study);
     let pts = points_vs_pc(&random, Sample::page_fault_rate);
-    scatter("Figure B.6. Page Fault Rate vs. Mean Concurrency Level", &pts, "P_c", "CE PAGE FAULT", PLOT_W, PLOT_H)
+    scatter(
+        "Figure B.6. Page Fault Rate vs. Mean Concurrency Level",
+        &pts,
+        "P_c",
+        "CE PAGE FAULT",
+        PLOT_W,
+        PLOT_H,
+    )
 }
 
 /// Midpoints for page-fault-rate distributions.
@@ -336,8 +428,11 @@ pub fn pfr_midpoints() -> Vec<f64> {
 fn render_pfr_bands(study: &Study, fig: &str, by_cw: bool) -> String {
     let (random, _) = analysis_samples(study);
     let mut out = String::new();
-    let (bands, x_name): (&[(f64, f64)], &str) =
-        if by_cw { (&CW_BANDS, "Cw") } else { (&PC_BANDS, "Pc") };
+    let (bands, x_name): (&[(f64, f64)], &str) = if by_cw {
+        (&CW_BANDS, "Cw")
+    } else {
+        (&PC_BANDS, "Pc")
+    };
     for (i, &band) in bands.iter().enumerate() {
         let label = (b'a' + i as u8) as char;
         let hi = if band.1.is_infinite() {
@@ -506,8 +601,10 @@ mod tests {
             .iter()
             .map(|&b| banded_by_pc(&samples, b, Sample::missrate, &mids).total())
             .sum();
-        let defined =
-            samples.iter().filter(|s| s.mean_concurrency_level().is_some()).count();
+        let defined = samples
+            .iter()
+            .filter(|s| s.mean_concurrency_level().is_some())
+            .count();
         assert_eq!(total as usize, defined);
     }
 }

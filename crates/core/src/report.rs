@@ -79,7 +79,10 @@ pub fn comparison(study: &Study) -> Vec<CompRow> {
 
     // --- Figure 4: burstiness of the sample-level C_w distribution.
     let samples: Vec<Sample> = study.all_samples().into_iter().cloned().collect();
-    let zero = samples.iter().filter(|s| s.workload_concurrency() == 0.0).count();
+    let zero = samples
+        .iter()
+        .filter(|s| s.workload_concurrency() == 0.0)
+        .count();
     rows.push(CompRow {
         id: "Figure 4".into(),
         metric: "% of samples with C_w = 0".into(),
@@ -89,8 +92,10 @@ pub fn comparison(study: &Study) -> Vec<CompRow> {
     });
 
     // --- Figure 5: concentration of P_c near full concurrency.
-    let defined: Vec<f64> =
-        samples.iter().filter_map(|s| s.mean_concurrency_level()).collect();
+    let defined: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.mean_concurrency_level())
+        .collect();
     let high = defined.iter().filter(|&&pc| pc > 6.5).count();
     rows.push(CompRow {
         id: "Figure 5".into(),
@@ -132,7 +137,11 @@ pub fn comparison(study: &Study) -> Vec<CompRow> {
     for (band, paper) in figures::CW_BANDS.iter().zip([0.001, 0.008, 0.023]) {
         rows.push(CompRow {
             id: "Figure 10".into(),
-            metric: format!("median Missrate, C_w band ({:.1}, {:.1}]", band.0, band.1.min(1.0)),
+            metric: format!(
+                "median Missrate, C_w band ({:.1}, {:.1}]",
+                band.0,
+                band.1.min(1.0)
+            ),
             paper: Some(paper),
             measured: band_median(&hw, *band, true, Sample::missrate),
             note: "median rises steeply with C_w".into(),
@@ -143,7 +152,11 @@ pub fn comparison(study: &Study) -> Vec<CompRow> {
     for (band, paper) in figures::PC_BANDS.iter().zip([0.004, 0.017, 0.017]) {
         rows.push(CompRow {
             id: "Figure 11".into(),
-            metric: format!("median Missrate, P_c band ({:.1}, {:.1}]", band.0, band.1.min(8.0)),
+            metric: format!(
+                "median Missrate, P_c band ({:.1}, {:.1}]",
+                band.0,
+                band.1.min(8.0)
+            ),
             paper: Some(paper),
             measured: band_median(&hw, *band, false, Sample::missrate),
             note: "little sensitivity to P_c between the upper bands".into(),
@@ -251,7 +264,9 @@ pub fn render_comparison(rows: &[CompRow]) -> String {
     s.push_str("| id | metric | paper | measured | note |\n");
     s.push_str("|---|---|---:|---:|---|\n");
     for r in rows {
-        let paper = r.paper.map_or("(qualitative)".into(), |p| format!("{p:.4}"));
+        let paper = r
+            .paper
+            .map_or("(qualitative)".into(), |p| format!("{p:.4}"));
         let _ = writeln!(
             s,
             "| {} | {} | {} | {:.4} | {} |",
@@ -287,7 +302,10 @@ pub fn render_full_report(study: &Study) -> String {
     push(&mut s, figures::fig14(study));
     if !study.random_sessions.is_empty() {
         push(&mut s, figures::fig_a1_a2(study, 0));
-        push(&mut s, figures::fig_a1_a2(study, study.random_sessions.len() - 1));
+        push(
+            &mut s,
+            figures::fig_a1_a2(study, study.random_sessions.len() - 1),
+        );
     }
     push(&mut s, figures::fig_a3(study));
     push(&mut s, figures::fig_a4(study));
@@ -312,9 +330,12 @@ mod tests {
     use fx8_workload::WorkloadMix;
 
     fn mini_study() -> Study {
+        // Four random sessions, not two: the comparison's regression rows
+        // need samples in at least three distinct C_w bins, and two
+        // five-minute samples can land in as few as one.
         let cfg = StudyConfig {
-            n_random: 2,
-            session_hours: vec![0.15, 0.15],
+            n_random: 4,
+            session_hours: vec![0.15, 0.15, 0.15, 0.15],
             n_triggered: 1,
             captures_per_triggered: 3,
             n_transition: 1,
@@ -330,7 +351,14 @@ mod tests {
         let study = mini_study();
         let rows = comparison(&study);
         let ids: Vec<&str> = rows.iter().map(|r| r.id.as_str()).collect();
-        for id in ["Table 2", "Figure 4", "Figure 5", "Figure 6", "Figure 10", "Figure 11"] {
+        for id in [
+            "Table 2",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 10",
+            "Figure 11",
+        ] {
             assert!(ids.contains(&id), "missing {id}");
         }
         assert!(rows.len() >= 15);

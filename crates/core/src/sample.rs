@@ -60,7 +60,10 @@ impl Sample {
 
 /// Extract `(C_w, y)` points from samples via a selector.
 pub fn points_vs_cw(samples: &[Sample], y: impl Fn(&Sample) -> f64) -> Vec<(f64, f64)> {
-    samples.iter().map(|s| (s.workload_concurrency(), y(s))).collect()
+    samples
+        .iter()
+        .map(|s| (s.workload_concurrency(), y(s)))
+        .collect()
 }
 
 /// Extract `(P_c, y)` points from samples (only samples where `P_c` is
@@ -86,7 +89,10 @@ mod tests {
             session: 0,
             at_cycle: 0,
             counts,
-            kernel: KernelCounters { page_faults_user: faults, page_faults_system: 0 },
+            kernel: KernelCounters {
+                page_faults_user: faults,
+                page_faults_system: 0,
+            },
         }
     }
 

@@ -7,7 +7,7 @@
 //! results are bit-identical to a serial run.
 
 use crate::experiment::{
-    run_random_session, run_transition_session, run_triggered_session, SessionConfig,
+    run_random_session, run_transition_session, run_triggered_session, Capture, SessionConfig,
     SessionResult,
 };
 use crate::sample::Sample;
@@ -16,6 +16,8 @@ use fx8_sim::MachineConfig;
 use fx8_stats::measures::ConcurrencyMeasures;
 use fx8_workload::WorkloadMix;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of the whole study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,10 +92,10 @@ pub struct Study {
     pub config: StudyConfig,
     /// Random-sampling sessions, in session order.
     pub random_sessions: Vec<SessionResult>,
-    /// Per-buffer counts of the all-active-triggered sessions.
-    pub triggered: Vec<Vec<EventCounts>>,
-    /// Per-buffer counts of the transition-triggered sessions.
-    pub transitions: Vec<Vec<EventCounts>>,
+    /// Per-buffer captures of the all-active-triggered sessions.
+    pub triggered: Vec<Vec<Capture>>,
+    /// Per-buffer captures of the transition-triggered sessions.
+    pub transitions: Vec<Vec<Capture>>,
 }
 
 impl Study {
@@ -106,8 +108,8 @@ impl Study {
         }
         enum Out {
             Random(usize, SessionResult),
-            Triggered(usize, Vec<EventCounts>),
-            Transition(usize, Vec<EventCounts>),
+            Triggered(usize, Vec<Capture>),
+            Transition(usize, Vec<Capture>),
         }
         let mut tasks = Vec::new();
         for i in 0..config.n_random {
@@ -135,13 +137,58 @@ impl Study {
             }
         };
 
+        // Estimated session cost, for longest-task-first scheduling. Random
+        // sessions simulate one 512-record buffer per snapshot; triggered
+        // and transition captures pay an extra trigger-seek on top of each
+        // buffer (transitions seek much longer for a falling edge). Only
+        // wall time depends on this estimate — results are keyed by task
+        // index and each task owns its seeds, so order never changes output.
+        let estimated_buffers = |t: &Task| -> f64 {
+            match t {
+                Task::Random(_, cfg) => {
+                    let samples = (cfg.hours * 3600.0 / cfg.sample_interval_s).max(1.0);
+                    samples * cfg.snapshots_per_sample as f64
+                }
+                Task::Triggered(_, _, n) => 2.0 * *n as f64,
+                Task::Transition(_, _, n) => 4.0 * *n as f64,
+            }
+        };
+
         let outputs: Vec<Out> = if config.parallel {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    tasks.iter().map(|t| scope.spawn(move |_| run_task(t))).collect();
-                handles.into_iter().map(|h| h.join().expect("session thread panicked")).collect()
-            })
-            .expect("session scope panicked")
+            // Work queue: a pool sized to the host pulls the heaviest
+            // remaining session first, so total wall time is bounded by the
+            // single heaviest session instead of by thread oversubscription
+            // (the old code spawned one thread per session).
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_by(|&a, &b| {
+                estimated_buffers(&tasks[b])
+                    .total_cmp(&estimated_buffers(&tasks[a]))
+                    .then(a.cmp(&b))
+            });
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Out>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(tasks.len().max(1));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = order.get(k) else { break };
+                        let out = run_task(&tasks[idx]);
+                        *slots[idx].lock().expect("result slot poisoned") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every queued session ran")
+                })
+                .collect()
         } else {
             tasks.iter().map(run_task).collect()
         };
@@ -169,7 +216,10 @@ impl Study {
 
     /// Every sample of every random session, session order then time order.
     pub fn all_samples(&self) -> Vec<&Sample> {
-        self.random_sessions.iter().flat_map(|s| s.samples.iter()).collect()
+        self.random_sessions
+            .iter()
+            .flat_map(|s| s.samples.iter())
+            .collect()
     }
 
     /// Pooled `num[j]` distribution over all random sessions (Figure 3).
@@ -204,7 +254,7 @@ impl Study {
         let mut acc = EventCounts::empty(self.config.machine.n_ces);
         for session in &self.transitions {
             for b in session {
-                acc.merge(b);
+                acc.merge(&b.counts);
             }
         }
         acc
@@ -215,7 +265,7 @@ impl Study {
         let mut acc = EventCounts::empty(self.config.machine.n_ces);
         for session in &self.triggered {
             for b in session {
-                acc.merge(b);
+                acc.merge(&b.counts);
             }
         }
         acc
@@ -261,10 +311,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_schedules_never_leak_into_results() {
+        // Work-stealing makes task completion order nondeterministic;
+        // results must not depend on it. Repeated parallel runs must agree
+        // with each other and with the serial reference — here under the
+        // production mix, which also exercises the trigger-timeout path.
+        let mut cfg = mini();
+        cfg.mix = WorkloadMix::csrd_production();
+        cfg.parallel = true;
+        let first = Study::run(cfg.clone());
+        for _ in 0..2 {
+            assert_eq!(
+                first,
+                Study::run(cfg.clone()),
+                "parallel run must be reproducible"
+            );
+        }
+        cfg.parallel = false;
+        let serial = Study::run(cfg);
+        assert_eq!(first.random_sessions, serial.random_sessions);
+        assert_eq!(first.triggered, serial.triggered);
+        assert_eq!(first.transitions, serial.transitions);
+    }
+
+    #[test]
     fn pooling_conserves_records() {
         let s = Study::run(mini());
         let pooled = s.pooled_counts();
-        let by_session: u64 = s.random_sessions.iter().map(|r| r.pooled_counts().records).sum();
+        let by_session: u64 = s
+            .random_sessions
+            .iter()
+            .map(|r| r.pooled_counts().records)
+            .sum();
         assert_eq!(pooled.records, by_session);
         assert_eq!(s.pooled_num().iter().sum::<u64>(), pooled.records);
     }

@@ -30,7 +30,9 @@ pub struct Table2 {
 
 /// Compute Table 2 from a study.
 pub fn table2(study: &Study) -> Table2 {
-    Table2 { measures: study.overall_measures() }
+    Table2 {
+        measures: study.overall_measures(),
+    }
 }
 
 impl Table2 {
@@ -90,7 +92,10 @@ pub struct RegressionTable {
 impl RegressionTable {
     /// Fetch a row's model by measure name.
     pub fn model(&self, measure: &str) -> Option<&QuadModel> {
-        self.rows.iter().find(|r| r.measure == measure).and_then(|r| r.model.as_ref().ok())
+        self.rows
+            .iter()
+            .find(|r| r.measure == measure)
+            .and_then(|r| r.model.as_ref().ok())
     }
 
     /// Render in the thesis's layout.
@@ -130,12 +135,11 @@ pub fn analysis_samples(study: &Study) -> (Vec<Sample>, Vec<Sample>) {
     let triggered: Vec<Sample> = study
         .triggered
         .iter()
-        .enumerate()
-        .flat_map(|(i, bufs)| {
-            bufs.iter().map(move |counts| Sample {
-                session: 1000 + i,
-                at_cycle: 0,
-                counts: counts.clone(),
+        .flat_map(|bufs| {
+            bufs.iter().map(|c| Sample {
+                session: 1000 + c.session,
+                at_cycle: c.at_cycle,
+                counts: c.counts.clone(),
                 kernel: Default::default(),
             })
         })
@@ -238,10 +242,22 @@ pub fn table_a1(study: &Study) -> Vec<SessionMeans> {
 pub fn render_table_a1(rows: &[SessionMeans]) -> String {
     let mut s = String::new();
     s.push_str("Table A.1. Mean Concurrency Measures for Random Samples.\n");
-    let _ = writeln!(s, "  {:>8} {:>10} {:>10} {:>9}", "SESSION", "C_w", "P_c", "SAMPLES");
+    let _ = writeln!(
+        s,
+        "  {:>8} {:>10} {:>10} {:>9}",
+        "SESSION", "C_w", "P_c", "SAMPLES"
+    );
     for r in rows {
-        let pc = r.pc.map_or("        --".to_string(), |p| format!("{p:>10.2}"));
-        let _ = writeln!(s, "  {:>8} {:>10.4} {} {:>9}", r.session + 1, r.cw, pc, r.samples);
+        let pc =
+            r.pc.map_or("        --".to_string(), |p| format!("{p:>10.2}"));
+        let _ = writeln!(
+            s,
+            "  {:>8} {:>10.4} {} {:>9}",
+            r.session + 1,
+            r.cw,
+            pc,
+            r.samples
+        );
     }
     s
 }
@@ -301,10 +317,17 @@ mod tests {
         let study = mini_study();
         let (random, triggered) = analysis_samples(&study);
         assert_eq!(random.len(), study.all_samples().len());
-        assert_eq!(triggered.len(), study.triggered.iter().map(Vec::len).sum::<usize>());
+        assert_eq!(
+            triggered.len(),
+            study.triggered.iter().map(Vec::len).sum::<usize>()
+        );
         // Triggered buffers are concentrated near full concurrency.
         for t in &triggered {
-            assert!(t.workload_concurrency() > 0.5, "cw {}", t.workload_concurrency());
+            assert!(
+                t.workload_concurrency() > 0.5,
+                "cw {}",
+                t.workload_concurrency()
+            );
         }
     }
 

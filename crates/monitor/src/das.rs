@@ -6,7 +6,11 @@
 //! against a live cluster: it steps the machine until the configured
 //! trigger fires (or a timeout elapses, the failure mode a real experiment
 //! script must handle), then fills the buffer with consecutive records.
+//! [`DasMonitor::acquire_reduced`] runs the same protocol but folds each
+//! record into [`EventCounts`] as it is captured — the study's bulk path,
+//! which never materializes the 512-record buffer.
 
+use crate::reduce::EventCounts;
 use crate::trigger::{Trigger, TriggerState};
 use fx8_sim::{Cluster, Cycle, ProbeWord};
 use serde::{Deserialize, Serialize};
@@ -25,7 +29,11 @@ pub struct DasConfig {
 impl DasConfig {
     /// The instrument as used in the study: 512-deep buffer.
     pub fn das9100(trigger: Trigger) -> Self {
-        DasConfig { buffer_depth: 512, trigger, timeout_cycles: 2_000_000 }
+        DasConfig {
+            buffer_depth: 512,
+            trigger,
+            timeout_cycles: 2_000_000,
+        }
     }
 }
 
@@ -34,6 +42,19 @@ impl DasConfig {
 pub struct Acquisition {
     /// The captured records, trigger record first.
     pub records: Vec<ProbeWord>,
+    /// Cycle of the trigger record.
+    pub triggered_at: Cycle,
+}
+
+/// A completed acquisition already condensed to its event counts.
+///
+/// Produced by [`DasMonitor::acquire_reduced`], which models the analyzer's
+/// host-side reduction programs running as the buffer drains: the records
+/// themselves are not kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedAcquisition {
+    /// Event counts of the captured buffer.
+    pub counts: EventCounts,
     /// Cycle of the trigger record.
     pub triggered_at: Cycle,
 }
@@ -94,7 +115,61 @@ impl DasMonitor {
                 while records.len() < self.cfg.buffer_depth {
                     records.push(cluster.step());
                 }
-                return Ok(Acquisition { records, triggered_at });
+                return Ok(Acquisition {
+                    records,
+                    triggered_at,
+                });
+            }
+            if cluster.now() - armed_at >= self.cfg.timeout_cycles {
+                return Err(AcquireError::TriggerTimeout {
+                    waited: cluster.now() - armed_at,
+                });
+            }
+        }
+    }
+
+    /// Like [`DasMonitor::acquire`], but reduce the buffer on the fly:
+    /// each captured record is folded straight into an [`EventCounts`]
+    /// instead of being materialized in a record vector. The cluster
+    /// advances exactly as under `acquire`, so trajectories (and therefore
+    /// everything downstream) are bit-identical between the two paths.
+    pub fn acquire_reduced(
+        &self,
+        cluster: &mut Cluster,
+    ) -> Result<ReducedAcquisition, AcquireError> {
+        let mut counts = EventCounts::empty(cluster.config().n_ces);
+        let triggered_at = self.acquire_reduced_into(cluster, &mut counts)?;
+        Ok(ReducedAcquisition {
+            counts,
+            triggered_at,
+        })
+    }
+
+    /// Streaming acquisition into a caller-owned accumulator — the random
+    /// sampling path, which pools several snapshots into one sample's
+    /// counts and so never needs a per-snapshot `EventCounts` either.
+    /// Returns the trigger cycle; on timeout `counts` is untouched.
+    pub fn acquire_reduced_into(
+        &self,
+        cluster: &mut Cluster,
+        counts: &mut EventCounts,
+    ) -> Result<Cycle, AcquireError> {
+        let n_ces = cluster.config().n_ces;
+        debug_assert_eq!(
+            counts.n_ces, n_ces,
+            "accumulator width must match the cluster"
+        );
+        let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
+        let armed_at = cluster.now();
+        loop {
+            let w = cluster.step();
+            if trig.fire(&w) {
+                let triggered_at = w.cycle;
+                counts.accumulate_word(&w);
+                for _ in 1..self.cfg.buffer_depth {
+                    counts.accumulate_word(&cluster.step());
+                }
+                return Ok(triggered_at);
             }
             if cluster.now() - armed_at >= self.cfg.timeout_cycles {
                 return Err(AcquireError::TriggerTimeout {
@@ -114,7 +189,11 @@ mod tests {
 
     fn serial_code() -> Box<dyn SerialCode> {
         Box::new(StridedSerial::new(
-            CodeRegion { base: VAddr::new(1, 0), footprint_bytes: 512, bytes_per_instr: 4 },
+            CodeRegion {
+                base: VAddr::new(1, 0),
+                footprint_bytes: 512,
+                bytes_per_instr: 4,
+            },
             VAddr::new(1, 0x10_0000),
             8,
             4096,
@@ -160,7 +239,11 @@ mod tests {
         c.mount_loop(loop_body(), 0, 1_000_000, serial_code(), 1);
         let das = DasMonitor::new(DasConfig::das9100(Trigger::AllCesActive));
         let acq = das.acquire(&mut c).unwrap();
-        assert_eq!(acq.records[0].active_count(), 8, "first record is the trigger");
+        assert_eq!(
+            acq.records[0].active_count(),
+            8,
+            "first record is the trigger"
+        );
     }
 
     #[test]
@@ -171,7 +254,10 @@ mod tests {
         let das = DasMonitor::new(DasConfig::das9100(Trigger::TransitionFromFull));
         let acq = das.acquire(&mut c).unwrap();
         let first = acq.records[0].active_count();
-        assert!(first < 8, "trigger record is below full concurrency: {first}");
+        assert!(
+            first < 8,
+            "trigger record is below full concurrency: {first}"
+        );
         assert!(first >= 1, "the drain starts with some CEs still running");
     }
 
@@ -197,6 +283,63 @@ mod tests {
             timeout_cycles: 10_000,
         });
         assert!(das.acquire(&mut c).is_err());
+    }
+
+    #[test]
+    fn acquire_reduced_matches_buffered_reduction() {
+        use crate::reduce::EventCounts;
+        // Two identical machines, one per acquisition path; the streaming
+        // reduction must equal reducing the materialized buffer, and both
+        // clusters must land on the same cycle.
+        for trigger in [
+            Trigger::Immediate,
+            Trigger::AllCesActive,
+            Trigger::TransitionFromFull,
+        ] {
+            let machine = || {
+                let mut c = cluster();
+                c.mount_loop(loop_body(), 0, 3_000, serial_code(), 1);
+                c
+            };
+            let das = DasMonitor::new(DasConfig::das9100(trigger));
+            let (mut a, mut b) = (machine(), machine());
+            let buffered = das.acquire(&mut a).unwrap();
+            let streamed = das.acquire_reduced(&mut b).unwrap();
+            assert_eq!(streamed.triggered_at, buffered.triggered_at, "{trigger:?}");
+            assert_eq!(
+                streamed.counts,
+                EventCounts::reduce(&buffered.records, 8),
+                "{trigger:?}"
+            );
+            assert_eq!(a.now(), b.now(), "{trigger:?}: paths advance identically");
+        }
+    }
+
+    #[test]
+    fn acquire_reduced_into_pools_and_preserves_counts_on_timeout() {
+        use crate::reduce::EventCounts;
+        let mut c = cluster();
+        let das = DasMonitor::new(DasConfig {
+            buffer_depth: 64,
+            trigger: Trigger::Immediate,
+            timeout_cycles: 1_000,
+        });
+        let mut counts = EventCounts::empty(8);
+        das.acquire_reduced_into(&mut c, &mut counts).unwrap();
+        das.acquire_reduced_into(&mut c, &mut counts).unwrap();
+        assert_eq!(
+            counts.records, 128,
+            "two snapshots pool into one accumulator"
+        );
+        // A timeout must not corrupt the pooled counts.
+        let strict = DasMonitor::new(DasConfig {
+            buffer_depth: 64,
+            trigger: Trigger::AllCesActive,
+            timeout_cycles: 2_000,
+        });
+        let before = counts.clone();
+        assert!(strict.acquire_reduced_into(&mut c, &mut counts).is_err());
+        assert_eq!(counts, before);
     }
 
     #[test]

@@ -59,18 +59,26 @@ impl EventCounts {
     /// Fold more records into the counts.
     pub fn accumulate(&mut self, records: &[ProbeWord]) {
         for w in records {
-            let active = w.active_count() as usize;
-            debug_assert!(active <= self.n_ces, "more active CEs than the cluster has");
-            self.num[active.min(self.n_ces)] += 1;
-            for j in 0..self.n_ces {
-                if w.is_active(j) {
-                    self.prof[j] += 1;
-                }
-                self.ceop[w.ce_ops[j].index()] += 1;
-            }
-            self.membop[w.mem_op.index()] += 1;
-            self.records += 1;
+            self.accumulate_word(w);
         }
+    }
+
+    /// Fold a single record into the counts — the streaming-acquisition
+    /// path, which reduces each record as it is captured instead of
+    /// materializing a buffer first.
+    #[inline]
+    pub fn accumulate_word(&mut self, w: &ProbeWord) {
+        let active = w.active_count() as usize;
+        debug_assert!(active <= self.n_ces, "more active CEs than the cluster has");
+        self.num[active.min(self.n_ces)] += 1;
+        for j in 0..self.n_ces {
+            if w.is_active(j) {
+                self.prof[j] += 1;
+            }
+            self.ceop[w.ce_ops[j].index()] += 1;
+        }
+        self.membop[w.mem_op.index()] += 1;
+        self.records += 1;
     }
 
     /// Merge another reduction (same cluster width) into this one.
@@ -147,8 +155,10 @@ mod tests {
 
     #[test]
     fn num_counts_by_active_processors() {
-        let records =
-            vec![word(0, CeBusOp::Idle, MemBusOp::Idle), word(0b11, CeBusOp::Read, MemBusOp::Idle)];
+        let records = vec![
+            word(0, CeBusOp::Idle, MemBusOp::Idle),
+            word(0b11, CeBusOp::Read, MemBusOp::Idle),
+        ];
         let c = EventCounts::reduce(&records, 8);
         assert_eq!(c.num[0], 1);
         assert_eq!(c.num[2], 1);

@@ -30,7 +30,11 @@ pub struct TriggerState {
 impl TriggerState {
     /// Build an evaluator for a cluster of `n_ces` CEs.
     pub fn new(trigger: Trigger, n_ces: usize) -> Self {
-        TriggerState { trigger, n_ces: n_ces as u32, prev_full: false }
+        TriggerState {
+            trigger,
+            n_ces: n_ces as u32,
+            prev_full: false,
+        }
     }
 
     /// Feed one record; returns `true` when acquisition must start *at*

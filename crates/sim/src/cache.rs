@@ -139,11 +139,21 @@ impl SetAssocCache {
             if v.dirty {
                 self.stats.writebacks += 1;
             }
-            Some(Evicted { line: v.line, dirty: v.dirty })
+            Some(Evicted {
+                line: v.line,
+                dirty: v.dirty,
+            })
         } else {
             None
         };
-        ways.insert(0, Entry { line, dirty, unique });
+        ways.insert(
+            0,
+            Entry {
+                line,
+                dirty,
+                unique,
+            },
+        );
         victim
     }
 

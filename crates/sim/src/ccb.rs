@@ -76,7 +76,10 @@ impl Ccb {
             rotor: 0,
             state: None,
             sync_value: 0,
-            stats: CcbStats { grants_by_ce: vec![0; n_ces], ..Default::default() },
+            stats: CcbStats {
+                grants_by_ce: vec![0; n_ces],
+                ..Default::default()
+            },
         }
     }
 
@@ -90,7 +93,12 @@ impl Ccb {
     /// loops resumed mid-way do not deadlock.
     pub fn start_loop(&mut self, first: u64, total: u64) {
         assert!(first <= total, "progress beyond loop end");
-        self.state = Some(LoopState { next: first, total, done: first, last_iter_ce: None });
+        self.state = Some(LoopState {
+            next: first,
+            total,
+            done: first,
+            last_iter_ce: None,
+        });
         self.sync_value = first;
     }
 
@@ -120,14 +128,24 @@ impl Ccb {
         self.state.and_then(|s| s.last_iter_ce)
     }
 
-    /// Arbitrate one cycle of iteration requests. `requesting[ce]` is true
-    /// if CE `ce` needs an iteration this cycle. At most one grant per
-    /// `grant_cycles`; once iterations run out every requester immediately
-    /// learns `Exhausted`.
+    /// Arbitrate one cycle of iteration requests, materializing the grants
+    /// (tests, tools). The cluster's stepper uses [`Ccb::arbitrate_into`].
     pub fn arbitrate(&mut self, now: Cycle, requesting: &[bool]) -> Vec<IterGrant> {
+        let mut out = vec![IterGrant::Wait; requesting.len()];
+        self.arbitrate_into(now, requesting, &mut out);
+        out
+    }
+
+    /// Arbitrate one cycle of iteration requests into a caller-owned
+    /// buffer — the per-cycle path, free of heap allocation. `requesting[ce]`
+    /// is true if CE `ce` needs an iteration this cycle; every slot of `out`
+    /// is overwritten. At most one grant per `grant_cycles`; once iterations
+    /// run out every requester immediately learns `Exhausted`.
+    pub fn arbitrate_into(&mut self, now: Cycle, requesting: &[bool], out: &mut [IterGrant]) {
         let n = self.stats.grants_by_ce.len();
         debug_assert_eq!(requesting.len(), n);
-        let mut out = vec![IterGrant::Wait; n];
+        debug_assert_eq!(out.len(), n);
+        out.fill(IterGrant::Wait);
         let Some(state) = &mut self.state else {
             // No loop mounted: nothing to grant.
             for (ce, &req) in requesting.iter().enumerate() {
@@ -135,7 +153,7 @@ impl Ccb {
                     out[ce] = IterGrant::Exhausted;
                 }
             }
-            return out;
+            return;
         };
 
         if state.next == state.total {
@@ -144,16 +162,18 @@ impl Ccb {
                     out[ce] = IterGrant::Exhausted;
                 }
             }
-            return out;
+            return;
         }
 
         if self.channel_free > now {
             self.stats.grant_wait_cycles += requesting.iter().filter(|&&r| r).count() as u64;
-            return out;
+            return;
         }
 
-        let order = self.arb.order(n, self.rotor);
-        let winner = order.into_iter().find(|&ce| requesting[ce]);
+        let winner = self
+            .arb
+            .order_iter(n, self.rotor)
+            .find(|&ce| requesting[ce]);
         if let Some(w) = winner {
             let iter = state.next;
             state.next += 1;
@@ -165,10 +185,13 @@ impl Ccb {
             self.rotor = w;
             self.channel_free = now + self.grant_cycles;
             // Losers wait for the channel.
-            let losers = requesting.iter().enumerate().filter(|&(ce, &r)| r && ce != w).count();
+            let losers = requesting
+                .iter()
+                .enumerate()
+                .filter(|&(ce, &r)| r && ce != w)
+                .count();
             self.stats.grant_wait_cycles += losers as u64;
         }
-        out
     }
 
     /// Record that a CE finished an iteration.
@@ -227,12 +250,22 @@ mod tests {
         let mut ccb = Ccb::new(4, Arbitration::FixedLowFirst, 2);
         ccb.start_loop(0, 100);
         let g0 = ccb.arbitrate(0, &all_requesting(4));
-        assert_eq!(g0.iter().filter(|g| matches!(g, IterGrant::Iter(_))).count(), 1);
+        assert_eq!(
+            g0.iter()
+                .filter(|g| matches!(g, IterGrant::Iter(_)))
+                .count(),
+            1
+        );
         // Channel busy at cycle 1 (grant_cycles = 2).
         let g1 = ccb.arbitrate(1, &all_requesting(4));
         assert!(g1.iter().all(|g| *g == IterGrant::Wait));
         let g2 = ccb.arbitrate(2, &all_requesting(4));
-        assert_eq!(g2.iter().filter(|g| matches!(g, IterGrant::Iter(_))).count(), 1);
+        assert_eq!(
+            g2.iter()
+                .filter(|g| matches!(g, IterGrant::Iter(_)))
+                .count(),
+            1
+        );
     }
 
     #[test]

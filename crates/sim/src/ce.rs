@@ -175,7 +175,8 @@ impl Ce {
         let line_bytes = self.icache.line_bytes();
         let addr = code.base.wrapping_add(self.fetch_cursor);
         let line = addr.line(line_bytes);
-        self.fetch_cursor = (self.fetch_cursor + code.bytes_per_instr) % code.footprint_bytes.max(1);
+        self.fetch_cursor =
+            (self.fetch_cursor + code.bytes_per_instr) % code.footprint_bytes.max(1);
         if self.last_fetch_line == Some(line) {
             return None;
         }
@@ -202,7 +203,11 @@ mod tests {
     use crate::addr::VAddr;
 
     fn region(footprint: u64) -> CodeRegion {
-        CodeRegion { base: VAddr::new(1, 0), footprint_bytes: footprint, bytes_per_instr: 4 }
+        CodeRegion {
+            base: VAddr::new(1, 0),
+            footprint_bytes: footprint,
+            bytes_per_instr: 4,
+        }
     }
 
     #[test]
@@ -246,7 +251,7 @@ mod tests {
             ce.ifetch_fill(l);
         }
         ce.set_code(region(64)); // same region again (same job)
-        // Warm icache: no miss on re-entry.
+                                 // Warm icache: no miss on re-entry.
         assert!(ce.ifetch_step().is_none());
         ce.flush_icache();
         ce.set_code(region(64));
@@ -262,7 +267,10 @@ mod tests {
         ce.role = CeRole::ClusterSerial;
         assert!(ce.is_ccb_active());
         ce.role = CeRole::Detached;
-        assert!(!ce.is_ccb_active(), "detached processes are not concurrent-active");
+        assert!(
+            !ce.is_ccb_active(),
+            "detached processes are not concurrent-active"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::crossbar::Crossbar;
 use crate::ip::IpSubsystem;
 use crate::membus::MemBusSystem;
 use crate::opcode::{CeBusOp, MemBusOp};
-use crate::probe::ProbeWord;
+use crate::probe::{ProbeWord, MAX_CES};
 use crate::stream::{LoopBody, Op, SerialCode};
 use crate::vm::{FaultMode, Vm};
 use crate::{Asid, CeId, Cycle};
@@ -107,6 +107,11 @@ pub struct Cluster {
     load: Load,
     detached: Vec<Option<(Box<dyn SerialCode>, Asid)>>,
     fault_seq: u64,
+    /// Scratch op buffer for serial/detached refills, reused across cycles
+    /// so the steady-state stepper never touches the heap.
+    refill_buf: Vec<Op>,
+    /// Scratch op buffer for loop-iteration generation, likewise reused.
+    iter_buf: Vec<Op>,
 }
 
 impl Cluster {
@@ -114,7 +119,9 @@ impl Cluster {
     pub fn new(cfg: MachineConfig, seed: u64) -> Self {
         cfg.validate().expect("valid machine configuration");
         let n = cfg.n_ces;
-        let ces = (0..n).map(|i| Ce::new(i, cfg.icache_bytes, cfg.icache_line_bytes)).collect();
+        let ces = (0..n)
+            .map(|i| Ce::new(i, cfg.icache_bytes, cfg.icache_line_bytes))
+            .collect();
         Cluster {
             caches: CacheSystem::new(cfg.cache, 32 * 1024),
             crossbar: Crossbar::new(n, cfg.cache.banks, cfg.crossbar_arbitration),
@@ -136,6 +143,8 @@ impl Cluster {
             now: 0,
             cfg,
             fault_seq: 0,
+            refill_buf: Vec::new(),
+            iter_buf: Vec::new(),
         }
     }
 
@@ -231,7 +240,9 @@ impl Cluster {
 
     /// CEs not occupied by detached processes.
     fn free_ces(&self) -> Vec<CeId> {
-        (0..self.ces.len()).filter(|&i| self.detached[i].is_none()).collect()
+        (0..self.ces.len())
+            .filter(|&i| self.detached[i].is_none())
+            .collect()
     }
 
     /// Mount a serial cluster section on `ce` (or the first free CE).
@@ -291,10 +302,13 @@ impl Cluster {
         }
     }
 
-    /// Run `n` cycles, discarding the probe words.
+    /// Run `n` cycles, discarding the probe words. Takes the quiet fast
+    /// path: the machine advances bit-identically to [`Cluster::step`],
+    /// but the memory-bus probe decode is skipped since no analyzer is
+    /// armed to read it.
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
-            self.step();
+            self.step_cycle(false);
         }
     }
 
@@ -324,41 +338,45 @@ impl Cluster {
     fn refill_ops(&mut self, ce: CeId) -> bool {
         const REFILL_ATTEMPTS: usize = 4;
         let id = ce;
-        match self.ces[id].role {
+        // The scratch buffer is taken out of self so the stream (also
+        // borrowed from self) can fill it; it goes back before returning.
+        let mut buf = std::mem::take(&mut self.refill_buf);
+        buf.clear();
+        let refilled = match self.ces[id].role {
             CeRole::Worker => false, // iteration boundary handled by caller
-            CeRole::ClusterSerial => {
-                let mut buf = Vec::new();
+            CeRole::ClusterSerial => 'serial: {
                 for _ in 0..REFILL_ATTEMPTS {
                     match &mut self.load {
                         Load::Serial { code, .. } | Load::Drained { code, .. } => {
                             code.gen_block(id, &mut buf);
                         }
-                        _ => return false,
+                        _ => break 'serial false,
                     }
                     if !buf.is_empty() {
                         self.ces[id].ops.extend(buf.drain(..));
-                        return true;
+                        break 'serial true;
                     }
                 }
                 false
             }
-            CeRole::Detached => {
-                let mut buf = Vec::new();
+            CeRole::Detached => 'detached: {
                 for _ in 0..REFILL_ATTEMPTS {
                     if let Some((code, _)) = &mut self.detached[id] {
                         code.gen_block(id, &mut buf);
                     } else {
-                        return false;
+                        break 'detached false;
                     }
                     if !buf.is_empty() {
                         self.ces[id].ops.extend(buf.drain(..));
-                        return true;
+                        break 'detached true;
                     }
                 }
                 false
             }
             CeRole::Inactive => false,
-        }
+        };
+        self.refill_buf = buf;
+        refilled
     }
 
     /// The address space of the cluster program currently mounted, or the
@@ -374,33 +392,51 @@ impl Cluster {
 
     /// Advance one bus cycle; returns the record the probes capture.
     pub fn step(&mut self) -> ProbeWord {
+        self.step_cycle(true)
+    }
+
+    /// One bus cycle. `probed` selects whether the memory-bus probe is
+    /// decoded into the returned word; everything that advances machine
+    /// state (and every statistic) is identical on both paths, so quiet
+    /// `run` and probed `capture` produce bit-identical trajectories.
+    fn step_cycle(&mut self, probed: bool) -> ProbeWord {
         let now = self.now;
         let n = self.ces.len();
+        debug_assert!(n <= MAX_CES);
         let mut word = ProbeWord::idle(now);
 
         // --- Interactive processors: background cache/bus traffic.
         self.ip.step(now, &mut self.caches, &mut self.membus);
 
         // --- CCB: self-scheduled iteration dispatch.
-        let requesting: Vec<bool> =
-            self.ces.iter().map(|ce| ce.state == CeState::AwaitIter).collect();
+        let mut requesting = [false; MAX_CES];
+        for (req, ce) in requesting.iter_mut().zip(&self.ces) {
+            *req = ce.state == CeState::AwaitIter;
+        }
+        let requesting = &requesting[..n];
         if requesting.iter().any(|&r| r) {
-            let grants = self.ccb.arbitrate(now, &requesting);
-            for (id, grant) in grants.into_iter().enumerate() {
+            let mut grants = [IterGrant::Wait; MAX_CES];
+            self.ccb.arbitrate_into(now, requesting, &mut grants[..n]);
+            for (id, &grant) in grants[..n].iter().enumerate() {
                 match grant {
                     IterGrant::Wait => {}
                     IterGrant::Iter(i) => {
-                        let mut buf = Vec::new();
+                        let mut buf = std::mem::take(&mut self.iter_buf);
+                        buf.clear();
                         if let Load::Loop { body, .. } = &mut self.load {
                             body.gen_iteration(i, id, &mut buf);
                         }
-                        self.ces[id].ops.extend(buf);
+                        self.ces[id].ops.extend(buf.drain(..));
+                        self.iter_buf = buf;
                         // The grant propagates down the daisy chain before
                         // the CE can begin (middle CEs are farther from
                         // either chain driver).
                         let delay = self.cfg.ccb_chain_delay(id);
                         self.ces[id].state = if delay > 0 {
-                            CeState::Stalled { until: now + delay, resume_op: CeBusOp::Idle }
+                            CeState::Stalled {
+                                until: now + delay,
+                                resume_op: CeBusOp::Idle,
+                            }
                         } else {
                             CeState::Ready
                         };
@@ -439,8 +475,8 @@ impl Cluster {
         }
 
         // --- Per-CE execution: figure out who wants the crossbar.
-        let mut req_bank: Vec<Option<usize>> = vec![None; n];
-        let mut req_info: Vec<Option<(crate::addr::LineId, ReqKind)>> = vec![None; n];
+        let mut req_bank = [None::<usize>; MAX_CES];
+        let mut req_info = [None::<(crate::addr::LineId, ReqKind)>; MAX_CES];
         for id in 0..n {
             match self.ces[id].state {
                 CeState::Stalled { until, resume_op } => {
@@ -525,7 +561,9 @@ impl Cluster {
                 }
             }
 
-            let Some(op) = self.ces[id].cur_op else { continue };
+            let Some(op) = self.ces[id].cur_op else {
+                continue;
+            };
             match op {
                 Op::Compute(c) => {
                     // Fetch check for the first instruction of the burst.
@@ -542,8 +580,11 @@ impl Cluster {
                     self.ces[id].cur_op = None;
                 }
                 Op::Load(a) | Op::Store(a) => {
-                    let kind =
-                        if matches!(op, Op::Store(_)) { ReqKind::Write } else { ReqKind::Read };
+                    let kind = if matches!(op, Op::Store(_)) {
+                        ReqKind::Write
+                    } else {
+                        ReqKind::Read
+                    };
                     // Instruction fetch for this operand instruction.
                     if !self.op_fetched[id] {
                         self.op_fetched[id] = true;
@@ -572,8 +613,7 @@ impl Cluster {
                             }
                             let until = now + self.cfg.fault_stall_cycles;
                             self.ces[id].state = CeState::FaultStalled { until };
-                            self.ces[id].stats.fault_stall_cycles +=
-                                self.cfg.fault_stall_cycles;
+                            self.ces[id].stats.fault_stall_cycles += self.cfg.fault_stall_cycles;
                             continue;
                         }
                     }
@@ -598,9 +638,17 @@ impl Cluster {
         }
 
         // --- Crossbar arbitration and cache access.
-        let granted = self.crossbar.arbitrate(now, &req_bank, self.cfg.cache_hit_cycles);
+        let mut granted = [false; MAX_CES];
+        self.crossbar.arbitrate_into(
+            now,
+            &req_bank[..n],
+            self.cfg.cache_hit_cycles,
+            &mut granted[..n],
+        );
         for id in 0..n {
-            let Some((line, kind)) = req_info[id] else { continue };
+            let Some((line, kind)) = req_info[id] else {
+                continue;
+            };
             // The request occupies the CE bus whether or not it wins.
             word.ce_ops[id] = kind.bus_op();
             if !granted[id] {
@@ -633,7 +681,10 @@ impl Cluster {
             } else {
                 let until = fetch_complete.unwrap_or(now + self.cfg.mem_latency_cycles);
                 self.ces[id].stats.miss_stall_cycles += until.saturating_sub(now);
-                self.ces[id].state = CeState::Stalled { until, resume_op: CeBusOp::MissWait };
+                self.ces[id].state = CeState::Stalled {
+                    until,
+                    resume_op: CeBusOp::MissWait,
+                };
                 self.resume_actions[id] = Some(match kind {
                     ReqKind::IFetch => ResumeAction::FillIFetch(line),
                     ReqKind::Read | ReqKind::Write => ResumeAction::FinishOp,
@@ -651,7 +702,13 @@ impl Cluster {
                 self.ces[id].stats.bus_busy_cycles += 1;
             }
         }
-        word.mem_op = self.membus.probe_op(now);
+        if probed {
+            word.mem_op = self.membus.probe_op(now);
+        } else {
+            // No analyzer armed: skip the probe decode, but still bound
+            // the start-record ring (the probe normally collects it).
+            self.membus.gc(now);
+        }
 
         self.now += 1;
         word
@@ -666,7 +723,11 @@ mod tests {
 
     fn serial_code(asid: Asid) -> Box<dyn SerialCode> {
         Box::new(StridedSerial::new(
-            CodeRegion { base: VAddr::new(asid, 0), footprint_bytes: 512, bytes_per_instr: 4 },
+            CodeRegion {
+                base: VAddr::new(asid, 0),
+                footprint_bytes: 512,
+                bytes_per_instr: 4,
+            },
             VAddr::new(asid, 0x10_0000),
             8,
             4096,
@@ -798,10 +859,14 @@ mod tests {
     #[test]
     fn detached_process_is_never_ccb_active() {
         let mut c = cluster();
-        c.mount_detached(5, serial_code(9), 9, );
+        c.mount_detached(5, serial_code(9), 9);
         let words = c.capture(300);
         for w in &words {
-            assert_eq!(w.active_count(), 0, "detached work must not assert CCB lines");
+            assert_eq!(
+                w.active_count(),
+                0,
+                "detached work must not assert CCB lines"
+            );
         }
         // But it does generate bus traffic.
         assert!(words.iter().any(|w| w.ce_ops[5].is_busy()));
@@ -879,10 +944,17 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(c.load_kind(), LoadKind::Drained, "dependent loop must not deadlock");
+        assert_eq!(
+            c.load_kind(),
+            LoadKind::Drained,
+            "dependent loop must not deadlock"
+        );
         let done: u64 = (0..8).map(|i| c.ce_stats(i).iters_completed).sum();
         assert_eq!(done, 40);
-        assert!(c.ccb_stats().sync_wait_cycles > 0, "dependence must cause waiting");
+        assert!(
+            c.ccb_stats().sync_wait_cycles > 0,
+            "dependence must cause waiting"
+        );
     }
 
     #[test]

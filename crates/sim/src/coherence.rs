@@ -28,15 +28,95 @@ pub enum BusTxn {
     IpFetch,
 }
 
+/// The most bus transactions one access can imply: coherence traffic,
+/// the other cache's dirty flush, the fetch, and a dirty victim's
+/// write-back.
+pub const MAX_BUS_TXNS: usize = 4;
+
+/// Fixed-capacity, inline list of the bus transactions one access implies.
+/// Accesses happen nearly every bus cycle, so the outcome must not touch
+/// the heap. Derefs to a slice for iteration and comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct BusList {
+    items: [BusTxn; MAX_BUS_TXNS],
+    len: u8,
+}
+
+impl BusList {
+    /// An empty list.
+    pub fn new() -> Self {
+        BusList {
+            items: [BusTxn::Fetch; MAX_BUS_TXNS],
+            len: 0,
+        }
+    }
+
+    /// Append a transaction. Panics if the access implied more than
+    /// [`MAX_BUS_TXNS`] transactions (impossible by construction).
+    pub fn push(&mut self, txn: BusTxn) {
+        self.items[self.len as usize] = txn;
+        self.len += 1;
+    }
+}
+
+impl Default for BusList {
+    fn default() -> Self {
+        BusList::new()
+    }
+}
+
+impl std::ops::Deref for BusList {
+    type Target = [BusTxn];
+    fn deref(&self) -> &[BusTxn] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl PartialEq for BusList {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for BusList {}
+
+impl PartialEq<Vec<BusTxn>> for BusList {
+    fn eq(&self, other: &Vec<BusTxn>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<[BusTxn]> for BusList {
+    fn eq(&self, other: &[BusTxn]) -> bool {
+        **self == *other
+    }
+}
+
+impl IntoIterator for BusList {
+    type Item = BusTxn;
+    type IntoIter = std::iter::Take<std::array::IntoIter<BusTxn, MAX_BUS_TXNS>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a BusList {
+    type Item = &'a BusTxn;
+    type IntoIter = std::slice::Iter<'a, BusTxn>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Outcome of a CE-side access to the shared cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessOutcome {
     /// Whether the access hit in the cache.
     pub hit: bool,
     /// Bus transactions that must be scheduled, in order. On a miss the
     /// `Fetch` is the transaction the requesting CE stalls on; write-backs
     /// and coherence traffic proceed asynchronously.
-    pub bus: Vec<BusTxn>,
+    pub bus: BusList,
 }
 
 /// Which side of the machine is accessing.
@@ -76,11 +156,16 @@ impl CacheSystem {
     pub fn new(geom: CacheGeometry, ipc_bytes: u64) -> Self {
         geom.validate().expect("valid CE-cache geometry");
         let sets = geom.sets_per_bank();
-        let banks = (0..geom.banks).map(|_| SetAssocCache::new(sets, geom.assoc)).collect();
+        let banks = (0..geom.banks)
+            .map(|_| SetAssocCache::new(sets, geom.assoc))
+            .collect();
         let ipc_lines = (ipc_bytes / geom.line_bytes).max(1);
         let ipc_assoc = 2.min(ipc_lines as usize);
         let ipc_sets = (ipc_lines / ipc_assoc as u64).max(1);
-        assert!(ipc_sets.is_power_of_two(), "IPC sets must be a power of two");
+        assert!(
+            ipc_sets.is_power_of_two(),
+            "IPC sets must be a power of two"
+        );
         CacheSystem {
             geom,
             banks,
@@ -150,7 +235,7 @@ impl CacheSystem {
             Side::Ce => self.stats.ce_accesses += 1,
             Side::Ip => self.stats.ip_accesses += 1,
         }
-        let mut bus = Vec::new();
+        let mut bus = BusList::new();
 
         // Split borrows: local cache is the one being accessed.
         let (local_set, other_set) = match side {
@@ -317,7 +402,10 @@ mod tests {
         let out = s.ip_access(LineId(60), true);
         assert!(!out.hit);
         assert!(out.bus.contains(&BusTxn::Coherence));
-        assert!(out.bus.contains(&BusTxn::WriteBack), "dirty copy must flush");
+        assert!(
+            out.bus.contains(&BusTxn::WriteBack),
+            "dirty copy must flush"
+        );
         assert!(!s.cpc_contains(LineId(60)));
     }
 
@@ -345,7 +433,10 @@ mod tests {
                 wrote_back = true;
             }
         }
-        assert!(wrote_back, "overflowing a set with dirty lines must write back");
+        assert!(
+            wrote_back,
+            "overflowing a set with dirty lines must write back"
+        );
     }
 
     #[test]

@@ -32,32 +32,38 @@ pub enum Arbitration {
 }
 
 impl Arbitration {
-    /// Priority permutation for `n` CEs; earlier entries win ties.
-    /// For `RoundRobin` the permutation rotates with `rotor`.
-    pub fn order(self, n: usize, rotor: usize) -> Vec<usize> {
+    /// The CE holding priority rank `k` (0 = highest) among `n` CEs.
+    /// Closed form so arbiters can walk the priority order without
+    /// materializing it — arbitration runs every bus cycle.
+    #[inline]
+    pub fn nth(self, n: usize, rotor: usize, k: usize) -> usize {
+        debug_assert!(k < n);
         match self {
-            Arbitration::FixedLowFirst => (0..n).collect(),
+            Arbitration::FixedLowFirst => k,
+            // Ends inward: 0, n-1, 1, n-2, ... — even ranks from the low
+            // end, odd ranks from the high end.
             Arbitration::EndsFirst => {
-                let mut v = Vec::with_capacity(n);
-                let (mut lo, mut hi) = (0usize, n - 1);
-                while lo < hi {
-                    v.push(lo);
-                    v.push(hi);
-                    lo += 1;
-                    hi -= 1;
+                if k.is_multiple_of(2) {
+                    k / 2
+                } else {
+                    n - 1 - k / 2
                 }
-                if lo == hi {
-                    v.push(lo);
-                }
-                v
             }
-            Arbitration::CenterFirst => {
-                let mut v = Arbitration::EndsFirst.order(n, rotor);
-                v.reverse();
-                v
-            }
-            Arbitration::RoundRobin => (0..n).map(|i| (rotor + 1 + i) % n).collect(),
+            Arbitration::CenterFirst => Arbitration::EndsFirst.nth(n, rotor, n - 1 - k),
+            Arbitration::RoundRobin => (rotor + 1 + k) % n,
         }
+    }
+
+    /// Priority order as an allocation-free iterator; earlier items win
+    /// ties. For `RoundRobin` the order rotates with `rotor`.
+    #[inline]
+    pub fn order_iter(self, n: usize, rotor: usize) -> impl Iterator<Item = usize> {
+        (0..n).map(move |k| self.nth(n, rotor, k))
+    }
+
+    /// Priority permutation for `n` CEs, materialized (tests, tools).
+    pub fn order(self, n: usize, rotor: usize) -> Vec<usize> {
+        self.order_iter(n, rotor).collect()
     }
 }
 
@@ -109,7 +115,10 @@ impl CacheGeometry {
             ));
         }
         if !self.sets_per_bank().is_power_of_two() {
-            return Err(format!("sets_per_bank {} not a power of two", self.sets_per_bank()));
+            return Err(format!(
+                "sets_per_bank {} not a power of two",
+                self.sets_per_bank()
+            ));
         }
         Ok(())
     }
@@ -305,14 +314,20 @@ mod tests {
 
     #[test]
     fn ends_first_order_is_0_7_1_6_2_5_3_4() {
-        assert_eq!(Arbitration::EndsFirst.order(8, 0), vec![0, 7, 1, 6, 2, 5, 3, 4]);
+        assert_eq!(
+            Arbitration::EndsFirst.order(8, 0),
+            vec![0, 7, 1, 6, 2, 5, 3, 4]
+        );
         assert_eq!(Arbitration::EndsFirst.order(3, 0), vec![0, 2, 1]);
         assert_eq!(Arbitration::EndsFirst.order(1, 0), vec![0]);
     }
 
     #[test]
     fn center_first_is_reverse_of_ends_first() {
-        assert_eq!(Arbitration::CenterFirst.order(8, 0), vec![4, 3, 5, 2, 6, 1, 7, 0]);
+        assert_eq!(
+            Arbitration::CenterFirst.order(8, 0),
+            vec![4, 3, 5, 2, 6, 1, 7, 0]
+        );
     }
 
     #[test]

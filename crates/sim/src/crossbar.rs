@@ -44,7 +44,10 @@ impl Crossbar {
             n_ces,
             bank_busy_until: vec![0; banks],
             rotor: vec![0; banks],
-            stats: CrossbarStats { denials_by_ce: vec![0; n_ces], ..Default::default() },
+            stats: CrossbarStats {
+                denials_by_ce: vec![0; n_ces],
+                ..Default::default()
+            },
         }
     }
 
@@ -53,17 +56,34 @@ impl Crossbar {
         &self.stats
     }
 
-    /// Arbitrate one cycle. `requests[ce] = Some(bank)` if CE `ce` wants
-    /// `bank` this cycle. Returns the per-CE grant flags. A granted bank is
-    /// then busy for `service_cycles` (hit-service occupancy).
+    /// Arbitrate one cycle, materializing the grant flags (tests, tools).
+    /// The cluster's stepper uses [`Crossbar::arbitrate_into`].
     pub fn arbitrate(
         &mut self,
         now: Cycle,
         requests: &[Option<usize>],
         service_cycles: u64,
     ) -> Vec<bool> {
-        debug_assert_eq!(requests.len(), self.n_ces);
         let mut granted = vec![false; self.n_ces];
+        self.arbitrate_into(now, requests, service_cycles, &mut granted);
+        granted
+    }
+
+    /// Arbitrate one cycle into a caller-owned grant buffer — the per-cycle
+    /// path, free of heap allocation. `requests[ce] = Some(bank)` if CE `ce`
+    /// wants `bank` this cycle; every slot of `granted` is overwritten. A
+    /// granted bank is then busy for `service_cycles` (hit-service
+    /// occupancy).
+    pub fn arbitrate_into(
+        &mut self,
+        now: Cycle,
+        requests: &[Option<usize>],
+        service_cycles: u64,
+        granted: &mut [bool],
+    ) {
+        debug_assert_eq!(requests.len(), self.n_ces);
+        debug_assert_eq!(granted.len(), self.n_ces);
+        granted.fill(false);
         for bank in 0..self.bank_busy_until.len() {
             if self.bank_busy_until[bank] > now {
                 // Bank still servicing: everyone aiming at it is denied.
@@ -75,14 +95,10 @@ impl Crossbar {
                 }
                 continue;
             }
-            let order = self.arb.order(self.n_ces, self.rotor[bank]);
-            let mut winner: Option<CeId> = None;
-            for &ce in &order {
-                if requests[ce] == Some(bank) {
-                    winner = Some(ce);
-                    break;
-                }
-            }
+            let winner: Option<CeId> = self
+                .arb
+                .order_iter(self.n_ces, self.rotor[bank])
+                .find(|&ce| requests[ce] == Some(bank));
             if let Some(w) = winner {
                 granted[w] = true;
                 self.stats.grants += 1;
@@ -96,7 +112,6 @@ impl Crossbar {
                 }
             }
         }
-        granted
     }
 }
 

@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn loop_that_fits_hits_after_first_pass() {
         let mut ic = ICache::new(1024, 32); // 32 lines
-        // A "loop body" of 8 lines: first pass misses, second pass hits.
+                                            // A "loop body" of 8 lines: first pass misses, second pass hits.
         for pass in 0..2 {
             for l in 0..8u64 {
                 let hit = ic.probe(LineId(l));
@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn footprint_larger_than_capacity_keeps_missing() {
         let mut ic = ICache::new(128, 32); // 4 lines, direct mapped
-        // 8 distinct lines mapping onto 4 sets: every probe conflicts.
+                                           // 8 distinct lines mapping onto 4 sets: every probe conflicts.
         for pass in 0..3 {
             for l in 0..8u64 {
                 let hit = ic.probe(LineId(l));

@@ -12,7 +12,7 @@ use crate::addr::LineId;
 use crate::opcode::MemBusOp;
 use crate::Cycle;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A scheduled transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +43,12 @@ pub struct MemBusSystem {
     module_free: Vec<Cycle>,
     latency: u64,
     transfer: u64,
-    /// Opcode that starts at a given cycle (for the probe).
-    starts: BTreeMap<Cycle, MemBusOp>,
+    /// Opcode that starts at a given cycle (for the probe), sorted by
+    /// cycle. Transactions schedule in near-monotonic order and the probe
+    /// garbage-collects from the front, so a ring buffer reaches a small
+    /// steady-state capacity and stays allocation-free — a `BTreeMap`
+    /// here would allocate nodes on the per-cycle path.
+    starts: VecDeque<(Cycle, MemBusOp)>,
     stats: MemBusStats,
 }
 
@@ -58,7 +62,7 @@ impl MemBusSystem {
             module_free: vec![0; modules],
             latency,
             transfer,
-            starts: BTreeMap::new(),
+            starts: VecDeque::with_capacity(16),
             stats: MemBusStats::default(),
         }
     }
@@ -92,34 +96,48 @@ impl MemBusSystem {
         let start = now.max(bus_free).max(self.module_free[module]);
         // Only one transaction may *start* per cycle machine-wide: the
         // probe decodes a single start opcode. Push to the next free slot.
-        let start = self.next_free_start(start);
+        let (start, slot) = self.next_free_start(start);
         self.bus_free[bus] = start + occupy;
         self.module_free[module] = start + complete_after;
-        self.starts.insert(start, op);
+        self.starts.insert(slot, (start, op));
         self.stats.by_op[op.index()] += 1;
         self.stats.busy_cycles += occupy;
-        Ticket { start, complete: start + complete_after, bus }
+        Ticket {
+            start,
+            complete: start + complete_after,
+            bus,
+        }
     }
 
-    fn next_free_start(&self, mut t: Cycle) -> Cycle {
-        while self.starts.contains_key(&t) {
+    /// First free start cycle at or after `t`, with the sorted insertion
+    /// slot for it. Occupied cycles form a contiguous run from the
+    /// insertion point, so one binary search plus a forward walk finds it.
+    fn next_free_start(&self, mut t: Cycle) -> (Cycle, usize) {
+        let mut slot = self.starts.partition_point(|&(c, _)| c < t);
+        while self.starts.get(slot).is_some_and(|&(c, _)| c == t) {
             t += 1;
+            slot += 1;
         }
-        t
+        (t, slot)
+    }
+
+    /// Drop recorded starts older than `now` (the probe never looks back).
+    /// The quiet stepping path calls this directly so the record stays
+    /// bounded even when no probe reads it.
+    pub fn gc(&mut self, now: Cycle) {
+        while self.starts.front().is_some_and(|&(t, _)| t < now) {
+            self.starts.pop_front();
+        }
     }
 
     /// The opcode the memory-bus probe sees at `now`; garbage-collects
     /// entries older than `now`.
     pub fn probe_op(&mut self, now: Cycle) -> MemBusOp {
-        // Drop past starts.
-        while let Some((&t, _)) = self.starts.first_key_value() {
-            if t < now {
-                self.starts.pop_first();
-            } else {
-                break;
-            }
+        self.gc(now);
+        match self.starts.front() {
+            Some(&(t, op)) if t == now => op,
+            _ => MemBusOp::Idle,
         }
-        self.starts.get(&now).copied().unwrap_or(MemBusOp::Idle)
     }
 
     /// Whether any bus is occupied at `now` (for utilization assertions).
@@ -172,7 +190,10 @@ mod tests {
         let a = m.schedule(0, MemBusOp::Fetch, LineId(0));
         // Same module (line 4 % 4 == 0), other bus free.
         let b = m.schedule(0, MemBusOp::Fetch, LineId(4));
-        assert!(b.start >= a.complete, "module must finish first: {a:?} {b:?}");
+        assert!(
+            b.start >= a.complete,
+            "module must finish first: {a:?} {b:?}"
+        );
     }
 
     #[test]
@@ -224,6 +245,10 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), starts.len(), "duplicate start cycles: {starts:?}");
+        assert_eq!(
+            sorted.len(),
+            starts.len(),
+            "duplicate start cycles: {starts:?}"
+        );
     }
 }

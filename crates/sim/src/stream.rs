@@ -105,7 +105,14 @@ impl StridedSerial {
     /// Create a strided serial stream.
     pub fn new(region: CodeRegion, data: VAddr, stride: u64, footprint: u64, compute: u32) -> Self {
         assert!(footprint > 0 && stride > 0);
-        StridedSerial { region, data, stride, footprint, compute, cursor: 0 }
+        StridedSerial {
+            region,
+            data,
+            stride,
+            footprint,
+            compute,
+            cursor: 0,
+        }
     }
 }
 

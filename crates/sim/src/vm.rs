@@ -133,8 +133,11 @@ impl Vm {
     fn maybe_compact(&mut self) {
         if self.lru.len() > 4 * self.frames + 64 {
             self.lru.clear();
-            self.lru
-                .extend(self.resident.iter().map(|(&p, &s)| (std::cmp::Reverse(s), p)));
+            self.lru.extend(
+                self.resident
+                    .iter()
+                    .map(|(&p, &s)| (std::cmp::Reverse(s), p)),
+            );
         }
     }
 
@@ -259,7 +262,10 @@ mod tests {
         assert!(vm.lru.len() <= 4 * 8 + 64, "heap grew to {}", vm.lru.len());
         // LRU semantics survive compaction.
         vm.touch(0, page(100), FaultMode::User);
-        assert!(vm.is_resident(page(3)), "recently touched pages stay resident");
+        assert!(
+            vm.is_resident(page(3)),
+            "recently touched pages stay resident"
+        );
     }
 
     #[test]

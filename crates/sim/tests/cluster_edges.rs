@@ -7,7 +7,11 @@ use fx8_sim::{CeId, Cluster, MachineConfig};
 
 fn serial(asid: u16) -> Box<dyn SerialCode> {
     Box::new(StridedSerial::new(
-        CodeRegion { base: VAddr::new(asid, 0), footprint_bytes: 256, bytes_per_instr: 4 },
+        CodeRegion {
+            base: VAddr::new(asid, 0),
+            footprint_bytes: 256,
+            bytes_per_instr: 4,
+        },
         VAddr::new(asid, 0x10_0000),
         8,
         2048,
@@ -17,7 +21,11 @@ fn serial(asid: u16) -> Box<dyn SerialCode> {
 
 fn body(asid: u16) -> Box<dyn LoopBody> {
     Box::new(StridedLoop {
-        region: CodeRegion { base: VAddr::new(asid, 0), footprint_bytes: 256, bytes_per_instr: 4 },
+        region: CodeRegion {
+            base: VAddr::new(asid, 0),
+            footprint_bytes: 256,
+            bytes_per_instr: 4,
+        },
         src: VAddr::new(asid, 0x20_0000),
         dst: VAddr::new(asid, 0x30_0000),
         elem: 8,
@@ -38,8 +46,14 @@ fn serial_mount_avoids_detached_ce() {
     // Request CE 0 explicitly: the cluster must pick a free CE instead.
     c.mount_serial(serial(1), 1, Some(0));
     let words = c.capture(200);
-    assert!(words.iter().all(|w| !w.is_active(0)), "detached CE0 must stay non-CCB-active");
-    assert!(words.iter().any(|w| w.active_count() == 1), "serial section runs elsewhere");
+    assert!(
+        words.iter().all(|w| !w.is_active(0)),
+        "detached CE0 must stay non-CCB-active"
+    );
+    assert!(
+        words.iter().any(|w| w.active_count() == 1),
+        "serial section runs elsewhere"
+    );
 }
 
 #[test]
@@ -91,7 +105,10 @@ fn clear_detached_frees_the_ce_for_cluster_work() {
     c.mount_loop(body(1), 0, 100_000, serial(1), 1);
     c.run(500);
     let w = c.step();
-    assert!(w.is_active(3), "CE3 rejoins the cluster after clear_detached");
+    assert!(
+        w.is_active(3),
+        "CE3 rejoins the cluster after clear_detached"
+    );
 }
 
 #[test]
@@ -139,10 +156,17 @@ fn sync_ops_outside_a_loop_do_not_wedge_serial_code() {
         }
     }
     let mut c = quiet_cluster();
-    let region = CodeRegion { base: VAddr::new(1, 0), footprint_bytes: 128, bytes_per_instr: 4 };
+    let region = CodeRegion {
+        base: VAddr::new(1, 0),
+        footprint_bytes: 128,
+        bytes_per_instr: 4,
+    };
     c.mount_serial(Box::new(Weird(region)), 1, None);
     c.run(2_000);
-    assert!(c.ce_stats(0).instrs > 100, "serial stream must keep retiring");
+    assert!(
+        c.ce_stats(0).instrs > 100,
+        "serial stream must keep retiring"
+    );
 }
 
 #[test]

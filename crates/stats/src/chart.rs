@@ -68,7 +68,11 @@ pub fn hbar_labeled(title: &str, labels: &[String], freq: &[u64]) -> String {
     let lw = labels.iter().map(String::len).max().unwrap_or(0).max(8);
     for (label, &f) in labels.iter().zip(freq) {
         let bar_len = ((f as f64 / max as f64) * BAR_WIDTH as f64).round() as usize;
-        let pct = if total == 0 { 0.0 } else { 100.0 * f as f64 / total as f64 };
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * f as f64 / total as f64
+        };
         out.push_str(&format!(
             "{:lw$} |{:bw$}| {:>10} {:>7.2}%\n",
             label,
@@ -198,7 +202,11 @@ mod tests {
         assert!(s.contains("MEDIAN:"));
         // Largest bin renders the longest bar.
         let bar_of = |needle: &str| {
-            s.lines().find(|l| l.starts_with(needle)).unwrap().matches('*').count()
+            s.lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap()
+                .matches('*')
+                .count()
         };
         assert!(bar_of("0.000") > bar_of("0.125"));
     }
@@ -210,7 +218,13 @@ mod tests {
             &(0..4).map(|i| format!("CE {i}")).collect::<Vec<_>>(),
             &[100, 50, 0, 25],
         );
-        let bar = |needle: &str| s.lines().find(|l| l.starts_with(needle)).unwrap().matches('*').count();
+        let bar = |needle: &str| {
+            s.lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap()
+                .matches('*')
+                .count()
+        };
         assert_eq!(bar("CE 0"), BAR_WIDTH);
         assert_eq!(bar("CE 2"), 0);
         assert!(bar("CE 1") > bar("CE 3"));
@@ -236,7 +250,13 @@ mod tests {
 
     #[test]
     fn model_curve_shows_equation() {
-        let m = QuadModel { b1: 2.18e-1, b2: 1.01e-1, c: 2.47e-2, r2: 0.89, n_points: 11 };
+        let m = QuadModel {
+            b1: 2.18e-1,
+            b2: 1.01e-1,
+            c: 2.47e-2,
+            r2: 0.89,
+            n_points: 11,
+        };
         let s = model_curve("CE Bus Busy vs Cw", &m, 0.0, 1.0, 40, 10);
         assert!(s.contains("R^2 = 0.89"));
         assert!(s.contains("MODEL:"));

@@ -29,13 +29,19 @@ impl FreqDist {
         for &v in values {
             freq[nearest_bin(v, midpoints)] += 1;
         }
-        FreqDist { midpoints: midpoints.to_vec(), freq }
+        FreqDist {
+            midpoints: midpoints.to_vec(),
+            freq,
+        }
     }
 
     /// Build directly from per-bin counts (e.g. processor-activity counts).
     pub fn from_counts(midpoints: &[f64], freq: &[u64]) -> Self {
         assert_eq!(midpoints.len(), freq.len());
-        FreqDist { midpoints: midpoints.to_vec(), freq: freq.to_vec() }
+        FreqDist {
+            midpoints: midpoints.to_vec(),
+            freq: freq.to_vec(),
+        }
     }
 
     /// Total records.
@@ -60,7 +66,10 @@ impl FreqDist {
         if t == 0 {
             vec![0.0; self.freq.len()]
         } else {
-            self.freq.iter().map(|&f| 100.0 * f as f64 / t as f64).collect()
+            self.freq
+                .iter()
+                .map(|&f| 100.0 * f as f64 / t as f64)
+                .collect()
         }
     }
 
@@ -70,7 +79,10 @@ impl FreqDist {
         if t == 0 {
             return vec![0.0; self.freq.len()];
         }
-        self.cum_freq().iter().map(|&f| 100.0 * f as f64 / t as f64).collect()
+        self.cum_freq()
+            .iter()
+            .map(|&f| 100.0 * f as f64 / t as f64)
+            .collect()
     }
 
     /// Median estimated from bin midpoints (the statistic the thesis
@@ -97,7 +109,12 @@ impl FreqDist {
         if t == 0 {
             return None;
         }
-        let s: f64 = self.midpoints.iter().zip(&self.freq).map(|(&m, &f)| m * f as f64).sum();
+        let s: f64 = self
+            .midpoints
+            .iter()
+            .zip(&self.freq)
+            .map(|(&m, &f)| m * f as f64)
+            .sum();
         Some(s / t as f64)
     }
 }
@@ -184,6 +201,9 @@ mod tests {
 
     #[test]
     fn midpoints_helper_spacing() {
-        assert_eq!(midpoints(2.0, 1.0, 7), vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(
+            midpoints(2.0, 1.0, 7),
+            vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        );
     }
 }

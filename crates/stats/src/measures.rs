@@ -35,7 +35,10 @@ impl ConcurrencyMeasures {
     /// Compute the measures from `num[j]` = records with `j` processors
     /// active, `j = 0..=P`.
     pub fn from_counts(num: &[u64]) -> Self {
-        assert!(num.len() >= 2, "need counts for at least 0 and 1 processors");
+        assert!(
+            num.len() >= 2,
+            "need counts for at least 0 and 1 processors"
+        );
         let total: u64 = num.iter().sum();
         if total == 0 {
             return ConcurrencyMeasures {

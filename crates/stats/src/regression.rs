@@ -89,11 +89,7 @@ pub fn fit_quadratic(points: &[(f64, f64)]) -> Result<QuadModel, FitError> {
         sxy += x * y;
         sx2y += x2 * y;
     }
-    let a = [
-        [sx2, sx3, sx],
-        [sx3, sx4, sx2],
-        [sx, sx2, n as f64],
-    ];
+    let a = [[sx2, sx3, sx], [sx3, sx4, sx2], [sx, sx2, n as f64]];
     let b = [sxy, sx2y, sy];
     let sol = solve3(a, b).ok_or(FitError::Singular)?;
     let (b1, b2, c) = (sol[0], sol[1], sol[2]);
@@ -107,16 +103,30 @@ pub fn fit_quadratic(points: &[(f64, f64)]) -> Result<QuadModel, FitError> {
         ss_res += (y - f) * (y - f);
         ss_tot += (y - mean_y) * (y - mean_y);
     }
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Ok(QuadModel { b1, b2, c, r2, n_points: n })
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(QuadModel {
+        b1,
+        b2,
+        c,
+        r2,
+        n_points: n,
+    })
 }
 
 /// Solve a 3×3 linear system by Gaussian elimination with partial pivoting.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         // Pivot.
-        let pivot = (col..3)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))?;
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -177,8 +187,10 @@ mod tests {
     #[test]
     fn exact_quadratic_recovered() {
         // y = 2x + 3x² + 1
-        let pts: Vec<(f64, f64)> =
-            (0..10).map(|i| i as f64 / 10.0).map(|x| (x, 2.0 * x + 3.0 * x * x + 1.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| i as f64 / 10.0)
+            .map(|x| (x, 2.0 * x + 3.0 * x * x + 1.0))
+            .collect();
         let m = fit_quadratic(&pts).unwrap();
         assert!(close(m.b1, 2.0, 1e-9), "b1 = {}", m.b1);
         assert!(close(m.b2, 3.0, 1e-9), "b2 = {}", m.b2);
@@ -213,7 +225,10 @@ mod tests {
 
     #[test]
     fn too_few_points_is_an_error() {
-        assert_eq!(fit_quadratic(&[(0.0, 0.0), (1.0, 1.0)]), Err(FitError::TooFewPoints));
+        assert_eq!(
+            fit_quadratic(&[(0.0, 0.0), (1.0, 1.0)]),
+            Err(FitError::TooFewPoints)
+        );
     }
 
     #[test]
@@ -224,7 +239,13 @@ mod tests {
 
     #[test]
     fn prediction_matches_formula() {
-        let m = QuadModel { b1: -3.30e-3, b2: 2.57e-2, c: 2.62e-3, r2: 0.74, n_points: 11 };
+        let m = QuadModel {
+            b1: -3.30e-3,
+            b2: 2.57e-2,
+            c: 2.62e-3,
+            r2: 0.74,
+            n_points: 11,
+        };
         // The paper's Table 3 miss-rate model: 0.007 at C_w = 0.5, 0.025 at 1.0.
         assert!(close(m.predict(0.5), 0.0074, 5e-4));
         assert!(close(m.predict(1.0), 0.0250, 5e-4));
@@ -232,7 +253,13 @@ mod tests {
 
     #[test]
     fn r2_categories_match_the_cited_scale() {
-        let mk = |r2| QuadModel { b1: 0.0, b2: 0.0, c: 0.0, r2, n_points: 3 };
+        let mk = |r2| QuadModel {
+            b1: 0.0,
+            b2: 0.0,
+            c: 0.0,
+            r2,
+            n_points: 3,
+        };
         assert_eq!(mk(0.02).r2_category(), "no relationship");
         assert_eq!(mk(0.25).r2_category(), "moderately weak");
         assert_eq!(mk(0.5).r2_category(), "moderate");
@@ -248,7 +275,7 @@ mod tests {
             (-0.2, 20.0),
             (0.05, 30.0), // bin 0: median 20
             (1.1, 5.0),   // bin 1: median 5
-            // bin 2 empty
+                          // bin 2 empty
         ];
         let binned = median_bin(&samples, &mids);
         assert_eq!(binned, vec![(0.0, 20.0), (1.0, 5.0)]);
@@ -268,7 +295,11 @@ mod tests {
             samples.push((x, 1_000.0)); // outlier
         }
         let m = fit_median_model(&samples, &mids).unwrap();
-        assert!(close(m.predict(5.0), 5.0, 0.1), "predict(5) = {}", m.predict(5.0));
+        assert!(
+            close(m.predict(5.0), 5.0, 0.1),
+            "predict(5) = {}",
+            m.predict(5.0)
+        );
     }
 
     #[test]
@@ -277,7 +308,10 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..12)
             .map(|i| {
                 let x = i as f64 * 0.5;
-                (x, 1.0 + 0.3 * x - 0.05 * x * x + if i % 2 == 0 { 0.2 } else { -0.2 })
+                (
+                    x,
+                    1.0 + 0.3 * x - 0.05 * x * x + if i % 2 == 0 { 0.2 } else { -0.2 },
+                )
             })
             .collect();
         let m = fit_quadratic(&pts).unwrap();

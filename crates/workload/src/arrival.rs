@@ -149,12 +149,20 @@ mod tests {
         }
         let mean = counts.iter().sum::<f64>() / n_win as f64;
         let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n_win as f64;
-        assert!(var > mean, "var {var} should exceed mean {mean} for a bursty process");
+        assert!(
+            var > mean,
+            "var {var} should exceed mean {mean} for a bursty process"
+        );
     }
 
     #[test]
     fn zero_rate_profile_generates_nothing() {
-        let p = LoadProfile { busy_mean: 1000, quiet_mean: 1000, busy_rate: 0.0, quiet_rate: 0.0 };
+        let p = LoadProfile {
+            busy_mean: 1000,
+            quiet_mean: 1000,
+            busy_rate: 0.0,
+            quiet_rate: 0.0,
+        };
         let mut rng = SmallRng::seed_from_u64(4);
         assert!(arrival_times(&p, 1_000_000, &mut rng).is_empty());
     }

@@ -92,19 +92,26 @@ impl LoopKernel {
         let mut pages = Vec::new();
         let panel_bytes = self.panel_lines * LINE_BYTES;
         push_region_pages(&mut pages, asid, PANEL_BASE, panel_bytes);
-        let stream_bytes =
-            self.iters * (self.stream_lines + self.store_lines) as u64 * LINE_BYTES;
+        let stream_bytes = self.iters * (self.stream_lines + self.store_lines) as u64 * LINE_BYTES;
         // Streaming working sets are capped: a real streaming loop keeps
         // only a sliding window resident; the drift model accounts for the
         // rest of its fault traffic.
-        push_region_pages(&mut pages, asid, STREAM_BASE, stream_bytes.min(4 * 1024 * 1024));
+        push_region_pages(
+            &mut pages,
+            asid,
+            STREAM_BASE,
+            stream_bytes.min(4 * 1024 * 1024),
+        );
         push_region_pages(&mut pages, asid, CODE_BASE, self.code_bytes);
         pages
     }
 
     /// Instantiate the loop body for a job in address space `asid`.
     pub fn instantiate(&self, asid: Asid) -> Box<dyn LoopBody> {
-        Box::new(KernelLoopBody { spec: self.clone(), asid })
+        Box::new(KernelLoopBody {
+            spec: self.clone(),
+            asid,
+        })
     }
 
     /// The code region of the body.
@@ -155,7 +162,11 @@ impl SerialKernel {
 
     /// Instantiate the stream for a job in address space `asid`.
     pub fn instantiate(&self, asid: Asid) -> Box<dyn SerialCode> {
-        Box::new(KernelSerialCode { spec: self.clone(), asid, block: 0 })
+        Box::new(KernelSerialCode {
+            spec: self.clone(),
+            asid,
+            block: 0,
+        })
     }
 
     /// The code region.
@@ -252,7 +263,10 @@ impl LoopBody for KernelLoopBody {
             // pattern each trip. The CEs' staggered CCB start times
             // de-conflict the banks.
             let line = (r as u64 * 7) % s.panel_lines.max(1);
-            out.push(Op::Load(VAddr::new(self.asid, PANEL_BASE + (line * LINE_BYTES) % panel_bytes)));
+            out.push(Op::Load(VAddr::new(
+                self.asid,
+                PANEL_BASE + (line * LINE_BYTES) % panel_bytes,
+            )));
             if emitted_compute < compute {
                 out.push(Op::Compute(burst));
                 emitted_compute += burst;
@@ -315,7 +329,10 @@ impl SerialCode for KernelSerialCode {
         // Cold streaming references wander through a larger region.
         for l in 0..s.stream_lines {
             let line = iter_hash(self.block * 97 + l as u64, 0x0ff5e7) % 65_536;
-            out.push(Op::Load(VAddr::new(self.asid, STREAM_BASE + line * LINE_BYTES)));
+            out.push(Op::Load(VAddr::new(
+                self.asid,
+                STREAM_BASE + line * LINE_BYTES,
+            )));
             if emitted < s.compute {
                 out.push(Op::Compute(burst));
                 emitted += burst;
@@ -523,7 +540,7 @@ pub fn scalar_serial() -> SerialKernel {
         store_fraction: 0.25,
         compute: 64,
         code_bytes: 48 * 1024,
-        }
+    }
 }
 
 /// Serial numeric setup (mesh generation, input parsing): sequential
@@ -580,7 +597,10 @@ mod tests {
         let stream = |v: &[u64]| -> std::collections::BTreeSet<u64> {
             v.iter().copied().filter(|&x| x >= STREAM_BASE).collect()
         };
-        assert!(stream(&la).is_disjoint(&stream(&lb)), "streams must be per-iteration");
+        assert!(
+            stream(&la).is_disjoint(&stream(&lb)),
+            "streams must be per-iteration"
+        );
     }
 
     #[test]
@@ -624,8 +644,14 @@ mod tests {
         body.gen_iteration(7, 0, &mut ops);
         assert!(ops.contains(&Op::AwaitSync(7)));
         assert!(ops.contains(&Op::PostSync(8)));
-        let await_pos = ops.iter().position(|o| matches!(o, Op::AwaitSync(_))).unwrap();
-        let post_pos = ops.iter().position(|o| matches!(o, Op::PostSync(_))).unwrap();
+        let await_pos = ops
+            .iter()
+            .position(|o| matches!(o, Op::AwaitSync(_)))
+            .unwrap();
+        let post_pos = ops
+            .iter()
+            .position(|o| matches!(o, Op::PostSync(_)))
+            .unwrap();
         assert!(await_pos < post_pos, "await must precede post");
     }
 
@@ -635,7 +661,9 @@ mod tests {
         let mut body = k.instantiate(1);
         let mut ops = Vec::new();
         body.gen_iteration(0, 0, &mut ops);
-        assert!(!ops.iter().any(|o| matches!(o, Op::AwaitSync(_) | Op::PostSync(_))));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, Op::AwaitSync(_) | Op::PostSync(_))));
     }
 
     #[test]
@@ -700,7 +728,10 @@ mod tests {
         assert_eq!(r.footprint_bytes, 1024);
         assert_eq!(r.base.asid(), 1);
         let s = scalar_serial();
-        assert!(s.code(1).footprint_bytes > 16 * 1024, "development code exceeds the icache");
+        assert!(
+            s.code(1).footprint_bytes > 16 * 1024,
+            "development code exceeds the icache"
+        );
     }
 
     #[test]

@@ -77,14 +77,38 @@ impl WorkloadMix {
     pub fn csrd_production() -> Self {
         WorkloadMix {
             entries: vec![
-                MixEntry { weight: 0.22, class: JobClass::StructuralMechanics },
-                MixEntry { weight: 0.12, class: JobClass::CircuitSimulation },
-                MixEntry { weight: 0.12, class: JobClass::LinearSolver },
-                MixEntry { weight: 0.17, class: JobClass::MatrixBenchmark },
-                MixEntry { weight: 0.07, class: JobClass::VectorStudy },
-                MixEntry { weight: 0.13, class: JobClass::InteractiveParallel },
-                MixEntry { weight: 0.08, class: JobClass::Development },
-                MixEntry { weight: 0.09, class: JobClass::DataAnalysis },
+                MixEntry {
+                    weight: 0.22,
+                    class: JobClass::StructuralMechanics,
+                },
+                MixEntry {
+                    weight: 0.12,
+                    class: JobClass::CircuitSimulation,
+                },
+                MixEntry {
+                    weight: 0.12,
+                    class: JobClass::LinearSolver,
+                },
+                MixEntry {
+                    weight: 0.17,
+                    class: JobClass::MatrixBenchmark,
+                },
+                MixEntry {
+                    weight: 0.07,
+                    class: JobClass::VectorStudy,
+                },
+                MixEntry {
+                    weight: 0.13,
+                    class: JobClass::InteractiveParallel,
+                },
+                MixEntry {
+                    weight: 0.08,
+                    class: JobClass::Development,
+                },
+                MixEntry {
+                    weight: 0.09,
+                    class: JobClass::DataAnalysis,
+                },
             ],
             profile: LoadProfile::from_minutes(45.0, 35.0, 7.5, 1.2),
             ip_intensity: 0.015,
@@ -96,9 +120,18 @@ impl WorkloadMix {
     pub fn all_concurrent() -> Self {
         WorkloadMix {
             entries: vec![
-                MixEntry { weight: 0.4, class: JobClass::StructuralMechanics },
-                MixEntry { weight: 0.3, class: JobClass::MatrixBenchmark },
-                MixEntry { weight: 0.3, class: JobClass::LinearSolver },
+                MixEntry {
+                    weight: 0.4,
+                    class: JobClass::StructuralMechanics,
+                },
+                MixEntry {
+                    weight: 0.3,
+                    class: JobClass::MatrixBenchmark,
+                },
+                MixEntry {
+                    weight: 0.3,
+                    class: JobClass::LinearSolver,
+                },
             ],
             profile: LoadProfile::from_minutes(60.0, 5.0, 40.0, 10.0),
             ip_intensity: 0.02,
@@ -109,7 +142,10 @@ impl WorkloadMix {
     /// A serial-only mix (negative control).
     pub fn all_serial() -> Self {
         WorkloadMix {
-            entries: vec![MixEntry { weight: 1.0, class: JobClass::Development }],
+            entries: vec![MixEntry {
+                weight: 1.0,
+                class: JobClass::Development,
+            }],
             profile: LoadProfile::from_minutes(45.0, 35.0, 8.0, 2.0),
             ip_intensity: 0.01,
             job_minutes: (2.0, 10.0),

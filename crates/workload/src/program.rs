@@ -71,7 +71,11 @@ pub struct PhaseGroup {
 impl PhaseGroup {
     /// Cycles of one repetition.
     pub fn rep_cycles(&self) -> u64 {
-        self.phases.iter().map(PhaseSpec::cycles).sum::<u64>().max(1)
+        self.phases
+            .iter()
+            .map(PhaseSpec::cycles)
+            .sum::<u64>()
+            .max(1)
     }
 
     /// Total cycles of the group.
@@ -116,7 +120,11 @@ impl ProgramSpec {
             .iter()
             .map(|g| {
                 g.repeat
-                    * g.phases.iter().filter(|p| p.is_loop()).map(PhaseSpec::cycles).sum::<u64>()
+                    * g.phases
+                        .iter()
+                        .filter(|p| p.is_loop())
+                        .map(PhaseSpec::cycles)
+                        .sum::<u64>()
             })
             .sum();
         loops as f64 / total
@@ -156,7 +164,12 @@ impl ProgramSpec {
                 for (pi, p) in g.phases.iter().enumerate() {
                     let pc = p.cycles();
                     if rem < pc {
-                        return Position { group: gi, rep, phase: pi, offset: rem };
+                        return Position {
+                            group: gi,
+                            rep,
+                            phase: pi,
+                            offset: rem,
+                        };
                     }
                     rem -= pc;
                 }
@@ -237,7 +250,9 @@ use crate::kernels;
 /// padding (`n + 2` ghost rows) makes counts ≡ 2 (mod 8) common — the
 /// thesis's own first hypothesis for the dominance of two leftover
 /// iterations in concurrency transitions (§ 4.3).
-pub const COMMON_DIMS: &[u64] = &[130, 256, 258, 258, 512, 514, 514, 1024, 1026, 1026, 2050, 258, 1026];
+pub const COMMON_DIMS: &[u64] = &[
+    130, 256, 258, 258, 512, 514, 514, 1024, 1026, 1026, 2050, 258, 1026,
+];
 
 /// Structural mechanics: timestepped stencil sweeps (the codes of CSRD
 /// report 602).
@@ -255,10 +270,19 @@ pub fn structural_mechanics(n: u64, timesteps: u64) -> ProgramSpec {
             PhaseGroup {
                 repeat: timesteps,
                 phases: vec![
-                    PhaseSpec::Loop { kernel: kernels::boundary_loop(3 + n % 4) },
-                    PhaseSpec::Loop { kernel: kernels::sor_sweep(n) },
-                    PhaseSpec::Loop { kernel: kernels::fine_grain_loop(n) },
-                    PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 2_500 },
+                    PhaseSpec::Loop {
+                        kernel: kernels::boundary_loop(3 + n % 4),
+                    },
+                    PhaseSpec::Loop {
+                        kernel: kernels::sor_sweep(n),
+                    },
+                    PhaseSpec::Loop {
+                        kernel: kernels::fine_grain_loop(n),
+                    },
+                    PhaseSpec::Serial {
+                        kernel: kernels::glue_serial(),
+                        cycles: 2_500,
+                    },
                 ],
             },
         ],
@@ -281,10 +305,19 @@ pub fn circuit_simulation(n: u64, timesteps: u64) -> ProgramSpec {
             PhaseGroup {
                 repeat: timesteps,
                 phases: vec![
-                    PhaseSpec::Loop { kernel: kernels::sor_sweep(n) },
-                    PhaseSpec::Loop { kernel: kernels::boundary_loop(2 + n % 5) },
-                    PhaseSpec::Loop { kernel: kernels::recurrence(n / 2) },
-                    PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 3_000 },
+                    PhaseSpec::Loop {
+                        kernel: kernels::sor_sweep(n),
+                    },
+                    PhaseSpec::Loop {
+                        kernel: kernels::boundary_loop(2 + n % 5),
+                    },
+                    PhaseSpec::Loop {
+                        kernel: kernels::recurrence(n / 2),
+                    },
+                    PhaseSpec::Serial {
+                        kernel: kernels::glue_serial(),
+                        cycles: 3_000,
+                    },
                 ],
             },
         ],
@@ -298,8 +331,13 @@ pub fn linear_solver(n: u64, panels: u64) -> ProgramSpec {
         groups: vec![PhaseGroup {
             repeat: panels,
             phases: vec![
-                PhaseSpec::Loop { kernel: kernels::lu_panel(n) },
-                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_500 },
+                PhaseSpec::Loop {
+                    kernel: kernels::lu_panel(n),
+                },
+                PhaseSpec::Serial {
+                    kernel: kernels::glue_serial(),
+                    cycles: 1_500,
+                },
             ],
         }],
     }
@@ -312,8 +350,13 @@ pub fn matrix_benchmark(n: u64, reps: u64) -> ProgramSpec {
         groups: vec![PhaseGroup {
             repeat: reps,
             phases: vec![
-                PhaseSpec::Loop { kernel: kernels::matmul(n) },
-                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_200 },
+                PhaseSpec::Loop {
+                    kernel: kernels::matmul(n),
+                },
+                PhaseSpec::Serial {
+                    kernel: kernels::glue_serial(),
+                    cycles: 1_200,
+                },
             ],
         }],
     }
@@ -327,9 +370,16 @@ pub fn vector_study(blocks: u64, reps: u64) -> ProgramSpec {
         groups: vec![PhaseGroup {
             repeat: reps,
             phases: vec![
-                PhaseSpec::Loop { kernel: kernels::vector_triad(blocks) },
-                PhaseSpec::Loop { kernel: kernels::reduction(blocks) },
-                PhaseSpec::Serial { kernel: kernels::glue_serial(), cycles: 1_500 },
+                PhaseSpec::Loop {
+                    kernel: kernels::vector_triad(blocks),
+                },
+                PhaseSpec::Loop {
+                    kernel: kernels::reduction(blocks),
+                },
+                PhaseSpec::Serial {
+                    kernel: kernels::glue_serial(),
+                    cycles: 1_500,
+                },
             ],
         }],
     }
@@ -344,8 +394,13 @@ pub fn interactive_parallel(n: u64, reps: u64) -> ProgramSpec {
         groups: vec![PhaseGroup {
             repeat: reps,
             phases: vec![
-                PhaseSpec::Loop { kernel: kernels::interactive_kernel(n) },
-                PhaseSpec::Serial { kernel: kernels::scalar_serial(), cycles: 120_000 },
+                PhaseSpec::Loop {
+                    kernel: kernels::interactive_kernel(n),
+                },
+                PhaseSpec::Serial {
+                    kernel: kernels::scalar_serial(),
+                    cycles: 120_000,
+                },
             ],
         }],
     }
@@ -358,7 +413,10 @@ pub fn development(minutes: f64) -> ProgramSpec {
         name: "development".into(),
         groups: vec![PhaseGroup {
             repeat: 1,
-            phases: vec![PhaseSpec::Serial { kernel: kernels::scalar_serial(), cycles }],
+            phases: vec![PhaseSpec::Serial {
+                kernel: kernels::scalar_serial(),
+                cycles,
+            }],
         }],
     }
 }
@@ -371,11 +429,23 @@ pub fn data_analysis(reps: u64) -> ProgramSpec {
         groups: vec![PhaseGroup {
             repeat: reps,
             phases: vec![
-                PhaseSpec::Serial { kernel: kernels::data_prep(), cycles: 600_000 },
-                PhaseSpec::Loop { kernel: kernels::chunked_region(6) },
-                PhaseSpec::Serial { kernel: kernels::data_prep(), cycles: 400_000 },
-                PhaseSpec::Loop { kernel: kernels::chunked_region(4) },
-                PhaseSpec::Loop { kernel: kernels::reduction(66) },
+                PhaseSpec::Serial {
+                    kernel: kernels::data_prep(),
+                    cycles: 600_000,
+                },
+                PhaseSpec::Loop {
+                    kernel: kernels::chunked_region(6),
+                },
+                PhaseSpec::Serial {
+                    kernel: kernels::data_prep(),
+                    cycles: 400_000,
+                },
+                PhaseSpec::Loop {
+                    kernel: kernels::chunked_region(4),
+                },
+                PhaseSpec::Loop {
+                    kernel: kernels::reduction(66),
+                },
             ],
         }],
     }
@@ -403,7 +473,10 @@ mod tests {
         let p = structural_mechanics(258, 100);
         // Offset 0: in the setup serial phase.
         let pos0 = p.locate(0);
-        assert_eq!((pos0.group, pos0.rep, pos0.phase, pos0.offset), (0, 0, 0, 0));
+        assert_eq!(
+            (pos0.group, pos0.rep, pos0.phase, pos0.offset),
+            (0, 0, 0, 0)
+        );
         // Just past setup: first loop of rep 0.
         let pos1 = p.locate(3_000_000);
         assert_eq!((pos1.group, pos1.rep, pos1.phase), (1, 0, 0));
@@ -413,7 +486,10 @@ mod tests {
         let first_phase = p.groups[1].phases[0].cycles();
         let off = 3_000_000 + rep + first_phase + 5;
         let pos2 = p.locate(off);
-        assert_eq!((pos2.group, pos2.rep, pos2.phase, pos2.offset), (1, 1, 1, 5));
+        assert_eq!(
+            (pos2.group, pos2.rep, pos2.phase, pos2.offset),
+            (1, 1, 1, 5)
+        );
     }
 
     #[test]
@@ -451,7 +527,10 @@ mod tests {
         assert_eq!(p.next_loop_end_after(0), Some(loop_cycles));
         // From inside the first glue phase, the next end is rep 1's loop.
         let rep = loop_cycles + 1_200;
-        assert_eq!(p.next_loop_end_after(loop_cycles + 10), Some(rep + loop_cycles));
+        assert_eq!(
+            p.next_loop_end_after(loop_cycles + 10),
+            Some(rep + loop_cycles)
+        );
         // Past the final loop there is none.
         assert_eq!(p.next_loop_end_after(p.total_cycles()), None);
     }
@@ -499,6 +578,9 @@ mod tests {
     #[test]
     fn common_dims_mostly_leave_two_leftover_iterations() {
         let twos = COMMON_DIMS.iter().filter(|&&d| d % 8 == 2).count();
-        assert!(twos * 2 >= COMMON_DIMS.len(), "residue-2 dims should dominate");
+        assert!(
+            twos * 2 >= COMMON_DIMS.len(),
+            "residue-2 dims should dominate"
+        );
     }
 }

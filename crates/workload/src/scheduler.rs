@@ -103,7 +103,11 @@ impl SessionDriver {
         self.mac_now = self.mac_now.max(self.cluster.now());
         while self.mac_now < t {
             // Promote arrivals up to now.
-            while self.pending.front().is_some_and(|j| j.arrival <= self.mac_now) {
+            while self
+                .pending
+                .front()
+                .is_some_and(|j| j.arrival <= self.mac_now)
+            {
                 let j = self.pending.pop_front().expect("checked non-empty");
                 self.ready.push_back(j);
             }
@@ -115,7 +119,10 @@ impl SessionDriver {
                 }
             }
             // Next event: job end, next arrival, or the target.
-            let run_end = self.running.as_ref().map(|r| r.start + r.program.total_cycles());
+            let run_end = self
+                .running
+                .as_ref()
+                .map(|r| r.start + r.program.total_cycles());
             let next_arrival = self.pending.front().map(|j| j.arrival);
             let step_to = [run_end, next_arrival, Some(t)]
                 .into_iter()
@@ -135,7 +142,11 @@ impl SessionDriver {
             }
         }
         // Final promotion/dispatch exactly at `t`.
-        while self.pending.front().is_some_and(|j| j.arrival <= self.mac_now) {
+        while self
+            .pending
+            .front()
+            .is_some_and(|j| j.arrival <= self.mac_now)
+        {
             let j = self.pending.pop_front().expect("checked non-empty");
             self.ready.push_back(j);
         }
@@ -149,11 +160,19 @@ impl SessionDriver {
     fn start_job(&mut self, program: ProgramSpec) {
         let asid = self.next_asid;
         // ASID 0 is the kernel; wrap well below the 16-bit limit.
-        self.next_asid = if self.next_asid >= 4095 { 1 } else { self.next_asid + 1 };
+        self.next_asid = if self.next_asid >= 4095 {
+            1
+        } else {
+            self.next_asid + 1
+        };
         // First-touch fault burst: the job's working set pages in.
         let ws = program.working_set(asid);
         self.cluster.vm_mut().install_set(0, ws, FaultMode::User);
-        self.running = Some(RunningJob { program, asid, start: self.mac_now });
+        self.running = Some(RunningJob {
+            program,
+            asid,
+            start: self.mac_now,
+        });
     }
 
     /// Steady-state paging drift while a job runs (locality churn between
@@ -190,7 +209,8 @@ impl SessionDriver {
         let asid = r.asid;
         match phase {
             PhaseSpec::Serial { kernel, .. } => {
-                self.cluster.mount_serial(kernel.instantiate(asid), asid, None);
+                self.cluster
+                    .mount_serial(kernel.instantiate(asid), asid, None);
             }
             PhaseSpec::Loop { kernel } => {
                 let per_iter_wall = (kernel.est_cycles_per_iter() / MACRO_P).max(1);
@@ -256,10 +276,7 @@ impl SessionDriver {
                     self.advance_to(mount_at);
                     // Confirm a loop actually mounted (the job may have
                     // ended in between under the event model).
-                    if matches!(
-                        self.cluster.load_kind(),
-                        fx8_sim::cluster::LoadKind::Loop
-                    ) {
+                    if matches!(self.cluster.load_kind(), fx8_sim::cluster::LoadKind::Loop) {
                         return Some(mount_at);
                     }
                 }
@@ -319,7 +336,11 @@ mod tests {
         d.advance_to(mid);
         assert_eq!(d.cluster().load_kind(), LoadKind::Loop);
         let remaining = d.cluster().loop_remaining();
-        assert!(remaining > 0 && remaining < k.iters, "remaining {remaining} of {}", k.iters);
+        assert!(
+            remaining > 0 && remaining < k.iters,
+            "remaining {remaining} of {}",
+            k.iters
+        );
     }
 
     #[test]
@@ -351,7 +372,10 @@ mod tests {
         let p = program::matrix_benchmark(256, 5);
         let mut d = one_job_driver(p, 0);
         d.advance_to(10);
-        assert!(d.cluster().vm().total_faults().user > 0, "job start must page in");
+        assert!(
+            d.cluster().vm().total_faults().user > 0,
+            "job start must page in"
+        );
     }
 
     #[test]
@@ -369,7 +393,9 @@ mod tests {
     fn seek_transition_mounts_a_nearly_drained_loop() {
         let p = program::structural_mechanics(258, 5_000);
         let mut d = one_job_driver(p, 0);
-        let at = d.seek_transition(16, u64::MAX / 2).expect("must find a loop end");
+        let at = d
+            .seek_transition(16, u64::MAX / 2)
+            .expect("must find a loop end");
         assert_eq!(d.cluster().load_kind(), LoadKind::Loop);
         let remaining = d.cluster().loop_remaining();
         assert!(
@@ -390,8 +416,13 @@ mod tests {
         let dur = serial.total_cycles();
         let loopy = program::matrix_benchmark(130, 2_000);
         let mut d = SessionDriver::new(cluster(), vec![(0, serial), (dur / 2, loopy)]);
-        let at = d.seek_transition(16, u64::MAX / 2).expect("loop job follows serial job");
-        assert!(at > dur, "transition found only after the serial job: {at} vs {dur}");
+        let at = d
+            .seek_transition(16, u64::MAX / 2)
+            .expect("loop job follows serial job");
+        assert!(
+            at > dur,
+            "transition found only after the serial job: {at} vs {dur}"
+        );
         assert_eq!(d.cluster().load_kind(), LoadKind::Loop);
     }
 
@@ -401,8 +432,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let horizon = (20.0 * 60.0 * 1e9 / 170.0) as u64; // 20 minutes
         let times = crate::arrival::arrival_times(&mix.profile, horizon, &mut rng);
-        let arrivals: Vec<_> =
-            times.into_iter().map(|t| (t, mix.sample_program(&mut rng))).collect();
+        let arrivals: Vec<_> = times
+            .into_iter()
+            .map(|t| (t, mix.sample_program(&mut rng)))
+            .collect();
         let mut d = SessionDriver::new(cluster(), arrivals);
         // Walk through the session in 5-minute hops, mounting each time.
         let five_min = (5.0 * 60.0 * 1e9 / 170.0) as u64;

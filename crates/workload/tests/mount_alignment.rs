@@ -33,11 +33,17 @@ fn mounted_loops_preserve_the_leftover_residue() {
             let aligned = candidates
                 .iter()
                 .any(|&iters| remaining <= iters && (iters - remaining).is_multiple_of(8));
-            assert!(aligned, "remaining {remaining} matches no round-aligned kernel {candidates:?}");
+            assert!(
+                aligned,
+                "remaining {remaining} matches no round-aligned kernel {candidates:?}"
+            );
             checked += 1;
         }
     }
-    assert!(checked > 5, "expected to catch several mounted loops, got {checked}");
+    assert!(
+        checked > 5,
+        "expected to catch several mounted loops, got {checked}"
+    );
 }
 
 #[test]
@@ -46,7 +52,11 @@ fn seek_transition_tail_has_the_loops_own_residue() {
     let mut d = SessionDriver::new(cluster(), vec![(0, program)]);
     for _ in 0..5 {
         let mounted = d.seek_transition(24, u64::MAX / 2).expect("loops abound");
-        assert_eq!(d.cluster().load_kind(), LoadKind::Loop, "mounted at {mounted}");
+        assert_eq!(
+            d.cluster().load_kind(),
+            LoadKind::Loop,
+            "mounted at {mounted}"
+        );
         let remaining = d.cluster().loop_remaining();
         // matmul-258: 258 ≡ 2 (mod 8); the mounted tail must agree.
         assert_eq!(remaining % 8, 258 % 8, "tail {remaining} lost the residue");
@@ -69,7 +79,13 @@ fn drained_tail_ends_on_two_leftover_iterations() {
     // most of the drain.
     let kernel = kernels::sor_sweep(258);
     let mut c = cluster();
-    c.mount_loop(kernel.instantiate(1), 258 - 26, 258, kernels::glue_serial().instantiate(1), 1);
+    c.mount_loop(
+        kernel.instantiate(1),
+        258 - 26,
+        258,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
     let mut per_state = [0u64; 9];
     for _ in 0..2_000_000 {
         let w = c.step();

@@ -30,6 +30,13 @@ fn main() {
     println!("CE Bus Busy = {:.4}", counts.ce_bus_busy());
     let samples = study.all_samples();
     println!("samples: {}", samples.len());
-    let zero = samples.iter().filter(|s| s.workload_concurrency() == 0.0).count();
-    println!("samples with zero concurrency: {} ({:.0}%)", zero, 100.0 * zero as f64 / samples.len() as f64);
+    let zero = samples
+        .iter()
+        .filter(|s| s.workload_concurrency() == 0.0)
+        .count();
+    println!(
+        "samples with zero concurrency: {} ({:.0}%)",
+        zero,
+        100.0 * zero as f64 / samples.len() as f64
+    );
 }

@@ -9,9 +9,19 @@ fn main() {
         for seed in 0..6u64 {
             let mut c = Cluster::new(MachineConfig::fx8(), seed);
             c.set_ip_intensity(0.01);
-            c.mount_loop(k.instantiate(1), dim - 48, dim, kernels::glue_serial().instantiate(1), 1);
+            c.mount_loop(
+                k.instantiate(1),
+                dim - 48,
+                dim,
+                kernels::glue_serial().instantiate(1),
+                1,
+            );
             c.run(2048);
-            let das = DasMonitor::new(DasConfig { buffer_depth: 512, trigger: Trigger::TransitionFromFull, timeout_cycles: 400_000 });
+            let das = DasMonitor::new(DasConfig {
+                buffer_depth: 512,
+                trigger: Trigger::TransitionFromFull,
+                timeout_cycles: 400_000,
+            });
             if let Ok(acq) = das.acquire(&mut c) {
                 pooled.accumulate(&acq.records);
                 if seed == 0 {
@@ -19,9 +29,15 @@ fn main() {
                     let mut runs: Vec<(u32, u32)> = Vec::new();
                     for w in &acq.records {
                         let a = w.active_count();
-                        match runs.last_mut() { Some((v, n)) if *v == a => *n += 1, _ => runs.push((a, 1)) }
+                        match runs.last_mut() {
+                            Some((v, n)) if *v == a => *n += 1,
+                            _ => runs.push((a, 1)),
+                        }
                     }
-                    println!("dim {dim} seed0 timeline: {:?}", &runs[..runs.len().min(30)]);
+                    println!(
+                        "dim {dim} seed0 timeline: {:?}",
+                        &runs[..runs.len().min(30)]
+                    );
                 }
             }
         }

@@ -12,22 +12,43 @@ fn probe(xbar: Arbitration, dims: &[u64]) {
             cfg.crossbar_arbitration = xbar;
             let mut c = Cluster::new(cfg, seed);
             c.set_ip_intensity(0.01);
-            c.mount_loop(k.instantiate(1), dim - 48, dim, kernels::glue_serial().instantiate(1), 1);
+            c.mount_loop(
+                k.instantiate(1),
+                dim - 48,
+                dim,
+                kernels::glue_serial().instantiate(1),
+                1,
+            );
             c.run(2048);
-            let das = DasMonitor::new(DasConfig { buffer_depth: 512, trigger: Trigger::TransitionFromFull, timeout_cycles: 400_000 });
-            if let Ok(acq) = das.acquire(&mut c) { pooled.accumulate(&acq.records); }
+            let das = DasMonitor::new(DasConfig {
+                buffer_depth: 512,
+                trigger: Trigger::TransitionFromFull,
+                timeout_cycles: 400_000,
+            });
+            if let Ok(acq) = das.acquire(&mut c) {
+                pooled.accumulate(&acq.records);
+            }
         }
     }
     let transition: u64 = (2..8).map(|j| pooled.num[j]).sum();
     let ends = (pooled.prof[0] + pooled.prof[7]) as f64 / 2.0;
     let mid: f64 = (1..7).map(|j| pooled.prof[j] as f64).sum::<f64>() / 6.0;
-    println!("{xbar:?}: num2..7={:?} 2share={:.2} ratio={:.2}", &pooled.num[2..8], pooled.num[2] as f64 / transition.max(1) as f64, ends/mid);
+    println!(
+        "{xbar:?}: num2..7={:?} 2share={:.2} ratio={:.2}",
+        &pooled.num[2..8],
+        pooled.num[2] as f64 / transition.max(1) as f64,
+        ends / mid
+    );
     println!("  prof={:?}", pooled.prof);
 }
 
 fn main() {
     let dims = [258u64, 130, 514, 66, 256, 1026];
-    for xbar in [Arbitration::EndsFirst, Arbitration::CenterFirst, Arbitration::RoundRobin] {
+    for xbar in [
+        Arbitration::EndsFirst,
+        Arbitration::CenterFirst,
+        Arbitration::RoundRobin,
+    ] {
         probe(xbar, &dims);
     }
 }

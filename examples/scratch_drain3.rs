@@ -8,7 +8,13 @@ fn main() {
         let k = kernels::sor_sweep(dim);
         let mut c = Cluster::new(MachineConfig::fx8(), seed);
         c.set_ip_intensity(0.01);
-        c.mount_loop(k.instantiate(1), dim - 48, dim, kernels::glue_serial().instantiate(1), 1);
+        c.mount_loop(
+            k.instantiate(1),
+            dim - 48,
+            dim,
+            kernels::glue_serial().instantiate(1),
+            1,
+        );
         // run until drained, recording when each CE's activity line drops
         let mut last_active = [true; 8];
         let mut drop_time = [0u64; 8];
@@ -19,13 +25,20 @@ fn main() {
                 let a = w.is_active(j);
                 if last_active[j] && !a {
                     drop_time[j] = w.cycle;
-                    if first_drop == 0 { first_drop = w.cycle; }
+                    if first_drop == 0 {
+                        first_drop = w.cycle;
+                    }
                 }
                 last_active[j] = a;
             }
-            if c.load_kind() == LoadKind::Drained { break; }
+            if c.load_kind() == LoadKind::Drained {
+                break;
+            }
         }
-        let rel: Vec<i64> = drop_time.iter().map(|&t| if t == 0 { -1 } else { (t - first_drop) as i64 }).collect();
+        let rel: Vec<i64> = drop_time
+            .iter()
+            .map(|&t| if t == 0 { -1 } else { (t - first_drop) as i64 })
+            .collect();
         let iters: Vec<u64> = (0..8).map(|j| c.ce_stats(j).iters_completed).collect();
         println!("seed {seed}: drop(rel)={rel:?} iters={iters:?}");
     }

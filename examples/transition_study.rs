@@ -30,7 +30,10 @@ fn main() {
         captures_per_transition: 30,
         ..StudyConfig::paper()
     };
-    eprintln!("capturing loop drains from {} transition sessions...", cfg.n_transition);
+    eprintln!(
+        "capturing loop drains from {} transition sessions...",
+        cfg.n_transition
+    );
     let study = Study::run(cfg);
 
     println!("{}", figures::fig6(&study));
@@ -55,7 +58,7 @@ fn main() {
     let buffers = run_transition_session(&fair_cfg, 0, 30);
     let mut fair = EventCounts::empty(8);
     for b in &buffers {
-        fair.merge(&b.clone());
+        fair.merge(&b.counts);
     }
     println!(
         "with round-robin grants the ends/middle ratio drops to {:.2}",

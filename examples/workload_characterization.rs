@@ -35,6 +35,7 @@ fn main() {
     println!(
         "Headline: C_w = {:.3} (paper 0.35), P_c = {} (paper 7.66)",
         m.workload_concurrency,
-        m.mean_concurrency_level.map_or("undefined".into(), |p| format!("{p:.2}")),
+        m.mean_concurrency_level
+            .map_or("undefined".into(), |p| format!("{p:.2}")),
     );
 }

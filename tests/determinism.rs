@@ -1,0 +1,108 @@
+//! Golden-sequence determinism tests.
+//!
+//! The cycle stepper is the repository's hot loop and gets optimized
+//! (scratch-buffer reuse, allocation-free arbitration, a quiet fast path
+//! when no analyzer is armed). These tests pin an FNV-1a hash of the
+//! complete probe-word sequence for 100k+ cycles of each machine state,
+//! so any behavioral drift in a perf refactor — including divergence
+//! between `Cluster::run` (quiet) and `Cluster::capture` (probed) — is
+//! caught bit-for-bit.
+
+use fx8_sim::{Cluster, MachineConfig, ProbeWord};
+use fx8_workload::{kernels, WorkloadMix};
+
+const CYCLES: usize = 100_000;
+
+/// FNV-1a over the packed probe words.
+fn fnv1a(words: &[ProbeWord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for w in words {
+        for b in w.cycle.to_le_bytes() {
+            eat(b);
+        }
+        for op in w.ce_ops {
+            eat(op as u8);
+        }
+        eat(w.mem_op as u8);
+        eat(w.active_mask);
+    }
+    h
+}
+
+fn idle_cluster(seed: u64) -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), seed);
+    c.set_ip_intensity(WorkloadMix::csrd_production().ip_intensity);
+    c
+}
+
+fn serial_cluster(seed: u64) -> Cluster {
+    let mut c = idle_cluster(seed);
+    c.mount_serial(kernels::scalar_serial().instantiate(1), 1, None);
+    c.run(5_000);
+    c
+}
+
+fn loop_cluster(seed: u64) -> Cluster {
+    let mut c = idle_cluster(seed);
+    let k = kernels::sor_sweep(1026);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
+    c.run(20_000);
+    c
+}
+
+/// Hashes pinned before the zero-allocation stepper refactor; the
+/// sequences must never change.
+const GOLDEN_IDLE: u64 = 0x5df3dd129ea63612;
+const GOLDEN_SERIAL: u64 = 0x62f3fedbeaedc38c;
+const GOLDEN_LOOP: u64 = 0x6f7c2dbd33cdd1d1;
+
+#[test]
+fn idle_probe_sequence_matches_golden() {
+    let words = idle_cluster(11).capture(CYCLES);
+    assert_eq!(fnv1a(&words), GOLDEN_IDLE, "actual {:#018x}", fnv1a(&words));
+}
+
+#[test]
+fn serial_probe_sequence_matches_golden() {
+    let words = serial_cluster(12).capture(CYCLES);
+    assert_eq!(
+        fnv1a(&words),
+        GOLDEN_SERIAL,
+        "actual {:#018x}",
+        fnv1a(&words)
+    );
+}
+
+#[test]
+fn loop_probe_sequence_matches_golden() {
+    let words = loop_cluster(13).capture(CYCLES);
+    assert_eq!(fnv1a(&words), GOLDEN_LOOP, "actual {:#018x}", fnv1a(&words));
+}
+
+/// The quiet path (`run`, no analyzer armed) must advance the machine
+/// bit-identically to the probed path (`capture`): running N quiet cycles
+/// then capturing must equal capturing through the same span and keeping
+/// the tail.
+#[test]
+fn quiet_run_and_probed_capture_advance_identically() {
+    for build in [idle_cluster, serial_cluster, loop_cluster] {
+        let mut quiet = build(29);
+        quiet.run(40_000);
+        let tail_quiet = quiet.capture(4_096);
+
+        let mut probed = build(29);
+        let mut all = probed.capture(40_000 + 4_096);
+        let tail_probed = all.split_off(40_000);
+        assert_eq!(tail_quiet, tail_probed);
+    }
+}

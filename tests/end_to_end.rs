@@ -37,7 +37,12 @@ fn full_pipeline_produces_report_and_comparison() {
     // tiny study).
     for r in &rows {
         if r.id != "Figure 10" && r.id != "Figure 11" {
-            assert!(r.measured.is_finite(), "{} / {} is not finite", r.id, r.metric);
+            assert!(
+                r.measured.is_finite(),
+                "{} / {} is not finite",
+                r.id,
+                r.metric
+            );
         }
     }
 }
@@ -99,7 +104,7 @@ fn record_conservation_holds_through_every_stage() {
     // Triggered/transition buffers hold exactly one buffer of records.
     for bufs in study.triggered.iter().chain(study.transitions.iter()) {
         for b in bufs {
-            assert_eq!(b.records, 512);
+            assert_eq!(b.counts.records, 512);
         }
     }
     let _ = cfg;

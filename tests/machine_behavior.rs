@@ -10,12 +10,22 @@ use fx8_study::workload::kernels::{self, LoopKernel};
 fn run_loop_to_drain(kernel: &LoopKernel, iters: u64, seed: u64) -> (Cluster, u64) {
     let mut c = Cluster::new(MachineConfig::fx8(), seed);
     c.set_ip_intensity(0.01);
-    c.mount_loop(kernel.instantiate(1), 0, iters, kernels::glue_serial().instantiate(1), 1);
+    c.mount_loop(
+        kernel.instantiate(1),
+        0,
+        iters,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
     let mut steps = 0u64;
     while c.load_kind() != LoadKind::Drained {
         c.step();
         steps += 1;
-        assert!(steps < 20_000_000, "{} did not drain in 20M cycles", kernel.name);
+        assert!(
+            steps < 20_000_000,
+            "{} did not drain in 20M cycles",
+            kernel.name
+        );
     }
     (c, steps)
 }
@@ -62,7 +72,13 @@ fn streaming_kernel_misses_more_than_panel_kernel() {
     let probe = |k: &LoopKernel| -> f64 {
         let mut c = Cluster::new(MachineConfig::fx8(), 5);
         c.set_ip_intensity(0.0);
-        c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+        c.mount_loop(
+            k.instantiate(1),
+            0,
+            1_000_000,
+            kernels::glue_serial().instantiate(1),
+            1,
+        );
         c.run(20_000);
         let words = c.capture(4_096);
         EventCounts::reduce(&words, 8).missrate()
@@ -98,7 +114,13 @@ fn icache_absorbs_loop_body_instruction_traffic() {
     let k = kernels::sor_sweep(1026); // code_bytes = 1 KB << 16 KB
     let mut c = Cluster::new(MachineConfig::fx8(), 9);
     c.set_ip_intensity(0.0);
-    c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
     c.run(50_000); // plenty of passes
     let words = c.capture(4_096);
     let counts = EventCounts::reduce(&words, 8);
@@ -124,11 +146,7 @@ fn cross_ce_sharing_reduces_missrate_versus_narrow_run() {
             fn code(&self) -> fx8_study::sim::stream::CodeRegion {
                 self.0
             }
-            fn gen_block(
-                &mut self,
-                _ce: usize,
-                out: &mut Vec<fx8_study::sim::stream::Op>,
-            ) {
+            fn gen_block(&mut self, _ce: usize, out: &mut Vec<fx8_study::sim::stream::Op>) {
                 out.push(fx8_study::sim::stream::Op::Compute(64));
             }
         }
@@ -137,7 +155,13 @@ fn cross_ce_sharing_reduces_missrate_versus_narrow_run() {
             c.mount_detached(ce, Box::new(Quiet(region)), 9);
         }
         let k = kernels::matmul(258);
-        c.mount_loop(k.instantiate(1), 0, 1_000_000, kernels::glue_serial().instantiate(1), 1);
+        c.mount_loop(
+            k.instantiate(1),
+            0,
+            1_000_000,
+            kernels::glue_serial().instantiate(1),
+            1,
+        );
         c.run(30_000);
         let words = c.capture(4_096);
         EventCounts::reduce(&words, 8).missrate()
@@ -155,7 +179,13 @@ fn tiny_machine_runs_the_same_kernels() {
     let k = kernels::sor_sweep(50);
     let mut c = Cluster::new(MachineConfig::tiny(), 1);
     c.set_ip_intensity(0.0);
-    c.mount_loop(k.instantiate(1), 0, 50, kernels::glue_serial().instantiate(1), 1);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        50,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
     let mut steps = 0;
     while c.load_kind() != LoadKind::Drained && steps < 10_000_000 {
         c.step();

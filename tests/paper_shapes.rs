@@ -87,7 +87,10 @@ fn transitions_are_dominated_by_low_concurrency_states() {
 fn end_processors_trail_through_transitions() {
     // Figure 7: CEs 0 and 7 stay active longer than the middle CEs.
     let ratio = row("Figure 7", "transition activity");
-    assert!(ratio > 1.1, "ends/middle activity ratio {ratio} should exceed 1");
+    assert!(
+        ratio > 1.1,
+        "ends/middle activity ratio {ratio} should exceed 1"
+    );
 }
 
 #[test]
@@ -111,7 +114,10 @@ fn missrate_is_less_sensitive_to_concurrency_level_than_to_cw() {
     let high = row("Figure 11", "median Missrate, P_c band (7.5, 8.0]");
     if mid > 0.0 && high > 0.0 {
         let swing = (high / mid).max(mid / high);
-        assert!(swing < 6.0, "upper P_c bands should be comparable: {mid:.4} vs {high:.4}");
+        assert!(
+            swing < 6.0,
+            "upper P_c bands should be comparable: {mid:.4} vs {high:.4}"
+        );
     }
 }
 
@@ -125,13 +131,18 @@ fn bus_activity_tracks_workload_concurrency_nearly_linearly() {
         (0.15..0.55).contains(&at_full),
         "busy at C_w=1 is {at_full} (paper: ~0.33)"
     );
-    assert!(busy.predict(1.0) > busy.predict(0.2), "busy increases with C_w");
+    assert!(
+        busy.predict(1.0) > busy.predict(0.2),
+        "busy increases with C_w"
+    );
 }
 
 #[test]
 fn page_faults_grow_with_concurrency() {
     let t3 = tables::table3(shape_study());
-    let pfr = t3.model("Median Page Fault Rate").expect("fault model fits");
+    let pfr = t3
+        .model("Median Page Fault Rate")
+        .expect("fault model fits");
     assert!(
         pfr.predict(0.9) > pfr.predict(0.1),
         "fault rate should grow with C_w: {} vs {}",
@@ -146,7 +157,11 @@ fn regression_tables_fit_all_three_measures_against_cw() {
     // legitimately concentrate above 7 on a reduced study, so only the
     // C_w table is required to fit everything.
     let t3 = tables::table3(shape_study());
-    for measure in ["Median Miss Rate", "Median CE Bus Busy", "Median Page Fault Rate"] {
+    for measure in [
+        "Median Miss Rate",
+        "Median CE Bus Busy",
+        "Median Page Fault Rate",
+    ] {
         assert!(t3.model(measure).is_some(), "{measure} vs C_w did not fit");
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests at the machine and workload level: arbitrary kernel
 //! parameters and schedules must never violate the cluster's invariants.
 
-use fx8_study::monitor::EventCounts;
+use fx8_study::monitor::{DasConfig, DasMonitor, EventCounts, Trigger};
 use fx8_study::sim::ccb::{Ccb, IterGrant};
 use fx8_study::sim::cluster::LoadKind;
 use fx8_study::sim::config::Arbitration;
@@ -11,12 +11,12 @@ use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = LoopKernel> {
     (
-        1u64..64,    // iters
-        1u64..512,   // panel lines
-        1u32..64,    // panel refs
-        0u32..8,     // stream lines
-        0u32..4,     // store lines
-        1u32..256,   // compute
+        1u64..64,  // iters
+        1u64..512, // panel lines
+        1u32..64,  // panel refs
+        0u32..8,   // stream lines
+        0u32..4,   // store lines
+        1u32..256, // compute
         prop::option::of(0.1f64..0.9),
         0.0f64..0.3,
     )
@@ -119,6 +119,52 @@ proptest! {
         granted.sort_unstable();
         let expect: Vec<u64> = (0..total).collect();
         prop_assert_eq!(granted, expect);
+    }
+
+    /// Streaming acquisition equals reducing a materialized buffer: for any
+    /// kernel, seed, buffer depth, and trigger, `acquire_reduced` matches
+    /// `EventCounts::reduce(acquire(..).records)` and both paths advance
+    /// the machine identically (including the timeout path).
+    #[test]
+    fn acquire_reduced_equals_buffered_reduce(
+        kernel in arb_kernel(),
+        seed in 0u64..16,
+        depth in 1usize..600,
+        trigger in prop::sample::select(vec![
+            Trigger::Immediate,
+            Trigger::AllCesActive,
+            Trigger::TransitionFromFull,
+        ]),
+    ) {
+        let machine = || {
+            let mut c = Cluster::new(MachineConfig::fx8(), seed);
+            c.set_ip_intensity(0.02);
+            c.mount_loop(
+                kernel.instantiate(1),
+                0,
+                kernel.iters,
+                fx8_study::workload::kernels::glue_serial().instantiate(1),
+                1,
+            );
+            c
+        };
+        let das = DasMonitor::new(DasConfig {
+            buffer_depth: depth,
+            trigger,
+            timeout_cycles: 200_000,
+        });
+        let (mut a, mut b) = (machine(), machine());
+        let buffered = das.acquire(&mut a);
+        let streamed = das.acquire_reduced(&mut b);
+        match (buffered, streamed) {
+            (Ok(acq), Ok(red)) => {
+                prop_assert_eq!(red.triggered_at, acq.triggered_at);
+                prop_assert_eq!(red.counts, EventCounts::reduce(&acq.records, 8));
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (b1, s1) => prop_assert!(false, "paths disagree: {:?} vs {:?}", b1, s1),
+        }
+        prop_assert_eq!(a.now(), b.now());
     }
 
     /// Cluster execution is deterministic for any kernel/seed pair.

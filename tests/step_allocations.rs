@@ -1,0 +1,88 @@
+//! Proof that the steady-state cycle stepper never touches the heap.
+//!
+//! A counting global allocator wraps the system allocator; after warming a
+//! cluster past its transient growth (op queues, the memory-bus start ring,
+//! refill scratch buffers reaching their high-water capacity), stepping
+//! must perform zero allocations. The simulator is deterministic, so this
+//! is a stable property, not a flaky timing assertion.
+
+use fx8_sim::{Cluster, MachineConfig};
+use fx8_workload::{kernels, WorkloadMix};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Count allocations performed by `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    let r = f();
+    COUNTING.store(false, Ordering::SeqCst);
+    (ALLOCATIONS.load(Ordering::SeqCst), r)
+}
+
+fn cluster(seed: u64) -> Cluster {
+    let mut c = Cluster::new(MachineConfig::fx8(), seed);
+    c.set_ip_intensity(WorkloadMix::csrd_production().ip_intensity);
+    c
+}
+
+#[test]
+fn step_allocations_idle_steady_state_is_zero() {
+    let mut c = cluster(21);
+    c.run(50_000);
+    let (allocs, _) = allocations_during(|| c.run(10_000));
+    assert_eq!(allocs, 0, "idle stepping allocated {allocs} times");
+}
+
+#[test]
+fn step_allocations_serial_steady_state_is_zero() {
+    let mut c = cluster(22);
+    c.mount_serial(kernels::scalar_serial().instantiate(1), 1, None);
+    c.run(50_000);
+    let (allocs, _) = allocations_during(|| c.run(10_000));
+    assert_eq!(allocs, 0, "serial stepping allocated {allocs} times");
+}
+
+#[test]
+fn step_allocations_loop_steady_state_is_zero() {
+    let mut c = cluster(23);
+    let k = kernels::sor_sweep(1026);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
+    c.run(50_000);
+    let (allocs, _) = allocations_during(|| c.run(10_000));
+    assert_eq!(allocs, 0, "loop stepping allocated {allocs} times");
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` harness API this workspace uses.
+//!
+//! Bench binaries keep their upstream spelling (`criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! throughput annotations). Behavior:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is timed
+//!   over `sample_size` iterations after one warm-up and a mean ns/iter is
+//!   printed, with elements/sec when a throughput was declared;
+//! * under `cargo test` (no `--bench` argument), each benchmark body runs
+//!   exactly once so the suite stays a smoke test.
+
+use std::time::Instant;
+
+/// True when cargo invoked the binary for real benchmarking.
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Declared per-iteration work, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.criterion.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the measured work.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the whole.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    tp: Option<Throughput>,
+    mut f: F,
+) {
+    if !bench_mode() {
+        // Smoke-test mode under `cargo test`: one iteration, no timing.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        return;
+    }
+    // One warm-up pass, then the timed run.
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_ns as f64 / b.iters.max(1) as f64;
+    match tp {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{name}: {per_iter:.0} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter / 1e9);
+            println!("{name}: {per_iter:.0} ns/iter ({rate:.0} B/s)");
+        }
+        None => println!("{name}: {per_iter:.0} ns/iter"),
+    }
+}
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run_once_in_test_mode() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs the body once");
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        let mut grp_runs = 0;
+        g.bench_function("inner", |b| b.iter(|| grp_runs += 1));
+        g.finish();
+        assert_eq!(grp_runs, 1);
+    }
+}

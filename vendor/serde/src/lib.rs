@@ -1,0 +1,307 @@
+//! Offline stand-in for the `serde` data model.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! carries a small self-contained serialization framework with the same
+//! spelling as serde: `#[derive(Serialize, Deserialize)]` plus a
+//! `serde_json` front end. Types serialize into a [`Value`] tree; JSON
+//! rendering/parsing lives in the `serde_json` vendor crate.
+//!
+//! Representation choices mirror serde's JSON defaults so derived data
+//! round-trips the way the tests expect:
+//!
+//! * structs → objects keyed by field name;
+//! * unit enum variants → the variant name as a string;
+//! * data-carrying variants → `{"Variant": {…fields…}}`;
+//! * `Option` → `null` / value; `Result` → `{"Ok": v}` / `{"Err": e}`;
+//! * numbers keep their exact lexeme in [`Value::Num`], so `u64` survives
+//!   untruncated and `f64` uses the shortest round-trip form.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed or to-be-rendered JSON-ish value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its exact lexeme (no precision loss for u64).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Field lookup on an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// An object was missing a required field.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(tag: &str) -> Self {
+        Error(format!("unknown variant `{tag}`"))
+    }
+
+    /// A value had the wrong shape for the target type.
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        let shape = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error(format!("invalid type: expected {expected}, found {shape}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error::custom(format!("bad {}: {s:?}: {e}", stringify!($t)))
+                    }),
+                    other => Err(Error::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // `{:?}` is the shortest representation that round-trips.
+                Value::Num(format!("{:?}", self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s.parse::<$t>().map_err(|e| {
+                        Error::custom(format!("bad {}: {s:?}: {e}", stringify!($t)))
+                    }),
+                    other => Err(Error::invalid_type(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Object(vec![("Ok".to_string(), v.to_value())]),
+            Err(e) => Value::Object(vec![("Err".to_string(), e.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if let Some(ok) = v.get("Ok") {
+            return T::from_value(ok).map(Ok);
+        }
+        if let Some(err) = v.get("Err") {
+            return E::from_value(err).map(Err);
+        }
+        Err(Error::invalid_type("result object", v))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("array length {n}, expected {N}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::invalid_type("2-element array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_value(&0.1f64.to_value()).unwrap(), 0.1);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hé\"llo".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_value(&o.to_value()).unwrap(), o);
+        let t = (1.5f64, 2.5f64);
+        assert_eq!(<(f64, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let a = [7u64; 5];
+        assert_eq!(<[u64; 5]>::from_value(&a.to_value()).unwrap(), a);
+        let r: Result<u64, String> = Err("x".into());
+        assert_eq!(Result::<u64, String>::from_value(&r.to_value()).unwrap(), r);
+    }
+}

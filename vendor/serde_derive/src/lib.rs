@@ -1,0 +1,277 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde data model.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote, which
+//! are unavailable offline). Supports exactly the shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are units (with optional discriminants) or carry
+//!   named fields.
+//!
+//! Generics, tuple structs, tuple variants, and `#[serde(...)]` attributes
+//! are not supported and panic with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed derive target.
+enum Input {
+    /// Struct name + field names.
+    Struct(String, Vec<String>),
+    /// Enum name + (variant name, named fields; `None` means unit variant).
+    Enum(String, Vec<(String, Option<Vec<String>>)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    None => {
+                        format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),")
+                    }
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Object(vec![{pairs}])),\
+                             ]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let inits: String = fields.iter().map(|f| field_init(&name, f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_none())
+                .map(|(vname, _)| {
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(vname, fields)| fields.as_ref().map(|f| (vname, f)))
+                .map(|(vname, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| field_init_from("inner", &name, f))
+                        .collect();
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::invalid_type(\"enum\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+/// `field: Deserialize::from_value(v.get("field")…)?,` for struct bodies.
+fn field_init(type_name: &str, field: &str) -> String {
+    field_init_from("v", type_name, field)
+}
+
+fn field_init_from(src: &str, type_name: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value({src}.get({field:?})\
+             .ok_or_else(|| ::serde::Error::missing_field(concat!(stringify!({type_name}), \".\", {field:?})))?)?,"
+    )
+}
+
+/// Parse the derive input down to names; types are never needed because the
+/// generated code goes through the `Serialize`/`Deserialize` traits.
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: skip the bracket group that follows.
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip optional `pub(…)` restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter);
+                let body = expect_brace_group(&mut iter, &name);
+                return Input::Struct(name, parse_named_fields(body));
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter);
+                let body = expect_brace_group(&mut iter, &name);
+                return Input::Enum(name, parse_variants(body));
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(iter: &mut impl Iterator<Item = TokenTree>) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_brace_group(iter: &mut impl Iterator<Item = TokenTree>, name: &str) -> TokenStream {
+    for tok in iter {
+        match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => return g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => panic!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ),
+            _ => continue,
+        }
+    }
+    panic!("serde_derive: `{name}` has no braced body (tuple/unit shapes unsupported)")
+}
+
+/// Field names of a named-field body: `attrs vis name : Type , …`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in fields: {other}"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        // Skip `: Type` up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Variants of an enum body; data variants must use named fields.
+fn parse_variants(body: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde_derive: unexpected token in variants: {other}"),
+                None => return variants,
+            }
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                let _ = iter.next();
+                Some(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde_derive: tuple variant `{name}` is not supported by the vendored derive"
+            ),
+            _ => None,
+        };
+        variants.push((name, fields));
+        // Skip an optional `= discriminant` up to the next comma.
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => break,
+                _ => {}
+            }
+        }
+    }
+}
