@@ -14,7 +14,13 @@
 //!
 //! `--bench-json` skips the tables and instead measures simulation
 //! throughput, updating `BENCH_throughput.json` at the repo root
-//! (`current` key; `--as-baseline` rewrites `baseline` too).
+//! (`current` key; `--as-baseline` rewrites `baseline` too; a binary built
+//! with `--features audit` records under the `audited` key instead).
+//!
+//! `--audit` prints the study's invariant-audit report after the run and
+//! exits nonzero if any violation was recorded. Meaningful only when built
+//! with `--features audit`; otherwise the report is vacuous and a warning
+//! says so.
 
 use fx8_bench::throughput;
 use fx8_core::study::{Study, StudyConfig};
@@ -23,12 +29,13 @@ use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: reproduce [--quick] [--out DIR] [--bench-json [--as-baseline]] [IDS...]\n\
+    "usage: reproduce [--quick] [--audit] [--out DIR] [--bench-json [--as-baseline]] [IDS...]\n\
      IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 figB1..figB10 comparison"
 }
 
 struct Args {
     quick: bool,
+    audit: bool,
     out: Option<String>,
     bench_json: bool,
     as_baseline: bool,
@@ -37,6 +44,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut quick = false;
+    let mut audit = false;
     let mut out = None;
     let mut bench_json = false;
     let mut as_baseline = false;
@@ -45,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--audit" => audit = true,
             "--out" => {
                 out = Some(argv.next().ok_or("--out requires a directory")?);
             }
@@ -62,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         quick,
+        audit,
         out,
         bench_json,
         as_baseline,
@@ -77,9 +87,12 @@ fn run_bench_json(as_baseline: bool) -> ExitCode {
     let previous = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok());
-    let file = throughput::merge(previous, current, as_baseline);
+    let file = throughput::merge(previous, current, as_baseline, cfg!(feature = "audit"));
     print!("{}", throughput::render("baseline", &file.baseline));
     print!("{}", throughput::render("current", &file.current));
+    if let Some(aud) = &file.audited {
+        print!("{}", throughput::render("audited", aud));
+    }
     println!("loop speedup over baseline: {:.2}x", file.loop_speedup);
     let json = serde_json::to_string(&file).expect("bench file serializes");
     if let Err(e) = std::fs::write(path, json + "\n") {
@@ -123,6 +136,25 @@ fn main() -> ExitCode {
         study.all_samples().len(),
         study.pooled_counts().records
     );
+
+    if args.audit {
+        if !cfg!(feature = "audit") {
+            eprintln!(
+                "warning: reproduce was built without the `audit` feature; \
+                 the auditor did not run and the report below is vacuous \
+                 (rebuild with `cargo run --features audit --bin reproduce`)"
+            );
+        }
+        let audit = study.audit_report();
+        eprint!("{}", audit.render());
+        if !audit.is_clean() {
+            eprintln!(
+                "audit FAILED: {} invariant violations",
+                audit.total_violations()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     let wanted = |id: &str| args.ids.is_empty() || args.ids.contains(&id.to_ascii_lowercase());
     let mut printed = String::new();

@@ -28,7 +28,7 @@ pub struct ThroughputNumbers {
 }
 
 /// The persisted `BENCH_throughput.json` contents.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchFile {
     /// Measurement taken before the zero-allocation stepper landed.
     pub baseline: ThroughputNumbers,
@@ -36,6 +36,28 @@ pub struct BenchFile {
     pub current: ThroughputNumbers,
     /// `current.loop_cycles_per_sec / baseline.loop_cycles_per_sec`.
     pub loop_speedup: f64,
+    /// Measurement with the `audit` feature compiled in, if one has been
+    /// taken — the overhead record that shows feature-off throughput is
+    /// untouched by the invariant auditor.
+    pub audited: Option<ThroughputNumbers>,
+}
+
+// Hand-written so files from before the `audited` field still load: the
+// vendored serde errors on any missing field, and it has no `default`
+// attribute to say otherwise.
+impl serde::Deserialize for BenchFile {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| v.get(name).ok_or_else(|| serde::Error::missing_field(name));
+        Ok(BenchFile {
+            baseline: serde::Deserialize::from_value(field("baseline")?)?,
+            current: serde::Deserialize::from_value(field("current")?)?,
+            loop_speedup: serde::Deserialize::from_value(field("loop_speedup")?)?,
+            audited: match v.get("audited") {
+                Some(a) => serde::Deserialize::from_value(a)?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// A cluster with only IP background traffic.
@@ -116,20 +138,45 @@ pub fn render(label: &str, n: &ThroughputNumbers) -> String {
 
 /// Merge a fresh measurement into the bench file: keep the stored baseline
 /// unless `as_baseline` (or no previous file) makes this run the baseline.
+///
+/// An `audited_run` (built with the `audit` feature) records under the
+/// `audited` key and leaves the feature-off trajectory untouched, so the
+/// committed baseline/current numbers always describe the unaudited
+/// stepper; conversely a feature-off run preserves any stored `audited`
+/// measurement.
 pub fn merge(
     previous: Option<BenchFile>,
-    current: ThroughputNumbers,
+    measured: ThroughputNumbers,
     as_baseline: bool,
+    audited_run: bool,
 ) -> BenchFile {
+    if audited_run {
+        return match previous {
+            Some(prev) => BenchFile {
+                audited: Some(measured),
+                ..prev
+            },
+            // Nothing to preserve: the audited numbers stand in everywhere
+            // until a feature-off run replaces baseline/current.
+            None => BenchFile {
+                baseline: measured.clone(),
+                current: measured.clone(),
+                loop_speedup: 1.0,
+                audited: Some(measured),
+            },
+        };
+    }
+    let audited = previous.as_ref().and_then(|p| p.audited.clone());
     let baseline = match previous {
         Some(prev) if !as_baseline => prev.baseline,
-        _ => current.clone(),
+        _ => measured.clone(),
     };
-    let loop_speedup = current.loop_cycles_per_sec / baseline.loop_cycles_per_sec;
+    let loop_speedup = measured.loop_cycles_per_sec / baseline.loop_cycles_per_sec;
     BenchFile {
         baseline,
-        current,
+        current: measured,
         loop_speedup,
+        audited,
     }
 }
 
@@ -148,23 +195,59 @@ mod tests {
 
     #[test]
     fn merge_keeps_previous_baseline() {
-        let first = merge(None, numbers(100.0), false);
+        let first = merge(None, numbers(100.0), false, false);
         assert_eq!(first.baseline, first.current);
         assert!((first.loop_speedup - 1.0).abs() < 1e-12);
-        let second = merge(Some(first.clone()), numbers(250.0), false);
+        let second = merge(Some(first.clone()), numbers(250.0), false, false);
         assert_eq!(second.baseline, numbers(100.0));
         assert_eq!(second.current, numbers(250.0));
         assert!((second.loop_speedup - 2.5).abs() < 1e-12);
-        let rebased = merge(Some(second), numbers(300.0), true);
+        let rebased = merge(Some(second), numbers(300.0), true, false);
         assert_eq!(rebased.baseline, numbers(300.0));
     }
 
     #[test]
+    fn audited_runs_never_touch_the_unaudited_trajectory() {
+        let base = merge(None, numbers(100.0), false, false);
+        let with_audit = merge(Some(base.clone()), numbers(60.0), false, true);
+        assert_eq!(with_audit.baseline, base.baseline);
+        assert_eq!(with_audit.current, base.current);
+        assert_eq!(with_audit.loop_speedup, base.loop_speedup);
+        assert_eq!(with_audit.audited, Some(numbers(60.0)));
+        // ...and a later feature-off run preserves the audited record.
+        let later = merge(Some(with_audit), numbers(120.0), false, false);
+        assert_eq!(later.current, numbers(120.0));
+        assert_eq!(later.audited, Some(numbers(60.0)));
+    }
+
+    #[test]
     fn bench_file_round_trips_as_json() {
-        let f = merge(None, numbers(42.0), true);
+        let f = merge(None, numbers(42.0), true, false);
         let json = serde_json::to_string(&f).unwrap();
         let back: BenchFile = serde_json::from_str(&json).unwrap();
         assert_eq!(back, f);
+        let with_audit = merge(Some(f), numbers(30.0), false, true);
+        let json = serde_json::to_string(&with_audit).unwrap();
+        let back: BenchFile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with_audit);
+    }
+
+    #[test]
+    fn bench_file_without_audited_key_still_loads() {
+        // Files written before the `audited` field must deserialize: the
+        // vendored serde errors on missing fields unless handled by hand.
+        let f = merge(None, numbers(10.0), true, false);
+        let json = serde_json::to_string(&f).unwrap();
+        let stripped = json
+            .replace(",\"audited\":null", "")
+            .replace("\"audited\":null,", "");
+        assert!(
+            !stripped.contains("audited"),
+            "test strips the new key: {stripped}"
+        );
+        let back: BenchFile = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.baseline, f.baseline);
+        assert_eq!(back.audited, None);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::sample::Sample;
 use fx8_monitor::{DasConfig, DasMonitor, EventCounts, KernelStats, Trigger};
+use fx8_sim::audit::AuditReport;
 use fx8_sim::{Cluster, Cycle, MachineConfig};
 use fx8_workload::arrival::arrival_times;
 use fx8_workload::{SessionDriver, WorkloadMix};
@@ -65,6 +66,38 @@ impl SessionConfig {
         }
     }
 
+    /// Reject configurations the session runners cannot execute sanely:
+    /// a sample interval that rounds to zero cycles used to reach
+    /// [`run_random_session`] as a division by zero.
+    pub fn validate(&self) -> Result<(), String> {
+        self.machine.validate()?;
+        if !self.hours.is_finite() || self.hours < 0.0 {
+            return Err(format!(
+                "hours {} must be finite and non-negative",
+                self.hours
+            ));
+        }
+        if !self.sample_interval_s.is_finite() || self.sample_interval_s <= 0.0 {
+            return Err(format!(
+                "sample_interval_s {} must be finite and positive",
+                self.sample_interval_s
+            ));
+        }
+        if self.machine.seconds_to_cycles(self.sample_interval_s) == 0 {
+            return Err(format!(
+                "sample_interval_s {} rounds to zero cycles",
+                self.sample_interval_s
+            ));
+        }
+        if self.snapshots_per_sample == 0 {
+            return Err("snapshots_per_sample must be nonzero".into());
+        }
+        if self.buffer_depth == 0 {
+            return Err("buffer_depth must be nonzero".into());
+        }
+        Ok(())
+    }
+
     fn interval_cycles(&self) -> u64 {
         self.machine.seconds_to_cycles(self.sample_interval_s)
     }
@@ -96,12 +129,23 @@ pub struct SessionResult {
     pub samples: Vec<Sample>,
     /// Jobs completed during the session.
     pub jobs_completed: u64,
+    /// The simulator's invariant-audit report for the session (empty and
+    /// clean unless the `audit` feature is enabled).
+    pub audit: AuditReport,
 }
 
 impl SessionResult {
-    /// Pool this session's record distribution.
+    /// Pool this session's record distribution. Sized to the widest sample
+    /// rather than a hardwired nine bins: a session on a machine with more
+    /// CEs than the FX/8's eight used to index out of bounds here.
     pub fn pooled_num(&self) -> Vec<u64> {
-        let mut num = vec![0u64; 9];
+        let width = self
+            .samples
+            .iter()
+            .map(|s| s.counts.num.len())
+            .max()
+            .unwrap_or(9);
+        let mut num = vec![0u64; width];
         for s in &self.samples {
             for (j, &k) in s.counts.num.iter().enumerate() {
                 num[j] += k;
@@ -142,7 +186,11 @@ pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionRes
         timeout_cycles: u64::MAX,
     });
     let mut kstats = KernelStats::new(driver.cluster());
-    let interval = cfg.interval_cycles();
+    // Floor the interval at one cycle: a sub-cycle sample_interval_s rounds
+    // to zero and used to divide by zero below. `advance_to` clamps to the
+    // current clock, so a one-cycle interval degenerates to back-to-back
+    // snapshots rather than a backwards clock.
+    let interval = cfg.interval_cycles().max(1);
     let n_samples = (cfg.horizon_cycles() / interval).max(1);
     let snap_spacing = interval / (cfg.snapshots_per_sample as u64 + 1);
     let mut samples = Vec::with_capacity(n_samples as usize);
@@ -179,17 +227,18 @@ pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionRes
         session: session_idx,
         samples,
         jobs_completed: driver.completed_jobs(),
+        audit: driver.cluster().audit_report(),
     }
 }
 
 /// Run one all-active-triggered session (§ 3.5, second measurement type).
 /// Returns the reduced counts of each captured buffer, tagged with the
-/// session index and trigger cycle.
+/// session index and trigger cycle, plus the session's audit report.
 pub fn run_triggered_session(
     cfg: &SessionConfig,
     session_idx: usize,
     captures: usize,
-) -> Vec<Capture> {
+) -> (Vec<Capture>, AuditReport) {
     let mut driver = cfg.make_driver();
     let das = DasMonitor::new(DasConfig {
         buffer_depth: cfg.buffer_depth,
@@ -228,15 +277,17 @@ pub fn run_triggered_session(
             });
         }
     }
-    out
+    let audit = driver.cluster().audit_report();
+    (out, audit)
 }
 
 /// Run one transition-triggered session (§ 3.5, the 8-to-fewer trigger).
+/// Returns the captures plus the session's audit report.
 pub fn run_transition_session(
     cfg: &SessionConfig,
     session_idx: usize,
     captures: usize,
-) -> Vec<Capture> {
+) -> (Vec<Capture>, AuditReport) {
     let mut driver = cfg.make_driver();
     // A tight trigger timeout: if the drain slipped past during warm-up the
     // fastest recovery is rearming at the next loop end, not waiting here.
@@ -273,7 +324,8 @@ pub fn run_transition_session(
             None => break,
         }
     }
-    out
+    let audit = driver.cluster().audit_report();
+    (out, audit)
 }
 
 #[cfg(test)]
@@ -317,7 +369,7 @@ mod tests {
     fn triggered_session_captures_full_concurrency() {
         let mut cfg = tiny_cfg(2);
         cfg.mix = WorkloadMix::all_concurrent();
-        let buffers = run_triggered_session(&cfg, 7, 3);
+        let (buffers, _audit) = run_triggered_session(&cfg, 7, 3);
         assert!(!buffers.is_empty(), "concurrent mix must trigger");
         let mut last_trigger = 0;
         for b in &buffers {
@@ -337,7 +389,7 @@ mod tests {
     fn transition_session_captures_drains() {
         let mut cfg = tiny_cfg(3);
         cfg.mix = WorkloadMix::all_concurrent();
-        let buffers = run_transition_session(&cfg, 4, 3);
+        let (buffers, _audit) = run_transition_session(&cfg, 4, 3);
         assert!(!buffers.is_empty(), "loops must drain");
         assert!(
             buffers.iter().all(|b| b.session == 4),
@@ -370,10 +422,70 @@ mod tests {
     fn serial_mix_never_triggers_all_active() {
         let mut cfg = tiny_cfg(4);
         cfg.mix = WorkloadMix::all_serial();
-        let buffers = run_triggered_session(&cfg, 0, 2);
+        let (buffers, _audit) = run_triggered_session(&cfg, 0, 2);
         assert!(
             buffers.is_empty(),
             "serial-only workload cannot reach 8-active"
         );
+    }
+
+    #[test]
+    fn pooled_num_handles_wider_than_fx8_samples() {
+        // Regression: pooled_num hardwired nine bins, so a sample reduced
+        // on a hypothetical machine with more than eight CEs (a 13-wide
+        // `num` histogram) indexed out of bounds.
+        use fx8_monitor::KernelCounters;
+        let mut counts = EventCounts::empty(12);
+        counts.num[12] = 5;
+        counts.num[0] = 2;
+        counts.records = 7;
+        let r = SessionResult {
+            session: 0,
+            samples: vec![Sample {
+                session: 0,
+                at_cycle: 0,
+                counts,
+                kernel: KernelCounters::default(),
+            }],
+            jobs_completed: 0,
+            audit: AuditReport::default(),
+        };
+        let num = r.pooled_num();
+        assert_eq!(num.len(), 13);
+        assert_eq!(num[12], 5);
+        assert_eq!(num[0], 2);
+    }
+
+    #[test]
+    fn zero_cycle_interval_is_floored_not_divided_by() {
+        // Regression: a sample_interval_s that rounds to zero cycles used
+        // to panic with a division by zero in run_random_session. The
+        // runner floors the interval at one cycle instead.
+        let mut cfg = tiny_cfg(6);
+        cfg.hours = 1e-12;
+        cfg.sample_interval_s = 1e-12;
+        cfg.warmup_cycles = 0;
+        cfg.snapshots_per_sample = 1;
+        cfg.buffer_depth = 8;
+        assert!(cfg.validate().is_err(), "validate flags the rounding");
+        let r = run_random_session(&cfg, 0);
+        assert_eq!(r.samples.len(), 1);
+    }
+
+    #[test]
+    fn session_config_validate_accepts_paper_and_rejects_nonsense() {
+        assert!(SessionConfig::paper(1).validate().is_ok());
+        let mut bad = SessionConfig::paper(1);
+        bad.hours = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = SessionConfig::paper(1);
+        bad.sample_interval_s = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = SessionConfig::paper(1);
+        bad.snapshots_per_sample = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = SessionConfig::paper(1);
+        bad.buffer_depth = 0;
+        assert!(bad.validate().is_err());
     }
 }

@@ -24,4 +24,4 @@ pub mod study;
 pub mod tables;
 
 pub use sample::Sample;
-pub use study::{Study, StudyConfig};
+pub use study::{SessionAudit, Study, StudyAuditReport, StudyConfig};

@@ -12,12 +12,18 @@ use crate::experiment::{
 };
 use crate::sample::Sample;
 use fx8_monitor::EventCounts;
+use fx8_sim::audit::{AuditReport, Violation};
 use fx8_sim::MachineConfig;
 use fx8_stats::measures::ConcurrencyMeasures;
 use fx8_workload::WorkloadMix;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Session length used when [`StudyConfig::session_hours`] is empty: the
+/// paper's typical session ("each session lasted between four and eight
+/// hours"; six is the study's midpoint and modal length).
+pub const DEFAULT_SESSION_HOURS: f64 = 6.0;
 
 /// Configuration of the whole study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,6 +81,31 @@ impl StudyConfig {
         }
     }
 
+    /// Length of random session `i`: the configured hours cycled across
+    /// sessions, or [`DEFAULT_SESSION_HOURS`] when none were given. An
+    /// empty `session_hours` used to panic in [`Study::run`] with an
+    /// index-out-of-bounds on `session_hours[0]`.
+    pub fn hours_for_session(&self, i: usize) -> f64 {
+        self.session_hours
+            .get(i % self.session_hours.len().max(1))
+            .copied()
+            .unwrap_or(DEFAULT_SESSION_HOURS)
+    }
+
+    /// Reject configurations the study cannot run: every session length
+    /// must be a finite non-negative number of hours, and the per-session
+    /// configuration they produce must itself validate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &h) in self.session_hours.iter().enumerate() {
+            if !h.is_finite() || h < 0.0 {
+                return Err(format!(
+                    "session_hours[{i}] = {h} must be finite and non-negative"
+                ));
+            }
+        }
+        self.session_cfg(0, DEFAULT_SESSION_HOURS).validate()
+    }
+
     fn session_cfg(&self, seed_offset: u64, hours: f64) -> SessionConfig {
         SessionConfig {
             machine: self.machine.clone(),
@@ -96,6 +127,11 @@ pub struct Study {
     pub triggered: Vec<Vec<Capture>>,
     /// Per-buffer captures of the transition-triggered sessions.
     pub transitions: Vec<Vec<Capture>>,
+    /// Audit report of each all-active-triggered session, in session order
+    /// (empty and clean unless the `audit` feature is enabled).
+    pub triggered_audits: Vec<AuditReport>,
+    /// Audit report of each transition-triggered session, in session order.
+    pub transition_audits: Vec<AuditReport>,
 }
 
 impl Study {
@@ -108,12 +144,12 @@ impl Study {
         }
         enum Out {
             Random(usize, SessionResult),
-            Triggered(usize, Vec<Capture>),
-            Transition(usize, Vec<Capture>),
+            Triggered(usize, Vec<Capture>, AuditReport),
+            Transition(usize, Vec<Capture>, AuditReport),
         }
         let mut tasks = Vec::new();
         for i in 0..config.n_random {
-            let hours = config.session_hours[i % config.session_hours.len().max(1)];
+            let hours = config.hours_for_session(i);
             tasks.push(Task::Random(i, config.session_cfg(i as u64, hours)));
         }
         for i in 0..config.n_triggered {
@@ -129,10 +165,12 @@ impl Study {
             match t {
                 Task::Random(i, cfg) => Out::Random(*i, run_random_session(cfg, *i)),
                 Task::Triggered(i, cfg, n) => {
-                    Out::Triggered(*i, run_triggered_session(cfg, *i, *n))
+                    let (caps, audit) = run_triggered_session(cfg, *i, *n);
+                    Out::Triggered(*i, caps, audit)
                 }
                 Task::Transition(i, cfg, n) => {
-                    Out::Transition(*i, run_transition_session(cfg, *i, *n))
+                    let (caps, audit) = run_transition_session(cfg, *i, *n);
+                    Out::Transition(*i, caps, audit)
                 }
             }
         };
@@ -196,11 +234,19 @@ impl Study {
         let mut random_sessions = vec![None; config.n_random];
         let mut triggered = vec![Vec::new(); config.n_triggered];
         let mut transitions = vec![Vec::new(); config.n_transition];
+        let mut triggered_audits = vec![AuditReport::default(); config.n_triggered];
+        let mut transition_audits = vec![AuditReport::default(); config.n_transition];
         for out in outputs {
             match out {
                 Out::Random(i, r) => random_sessions[i] = Some(r),
-                Out::Triggered(i, b) => triggered[i] = b,
-                Out::Transition(i, b) => transitions[i] = b,
+                Out::Triggered(i, b, a) => {
+                    triggered[i] = b;
+                    triggered_audits[i] = a;
+                }
+                Out::Transition(i, b, a) => {
+                    transitions[i] = b;
+                    transition_audits[i] = a;
+                }
             }
         }
         Study {
@@ -211,6 +257,8 @@ impl Study {
                 .collect(),
             triggered,
             transitions,
+            triggered_audits,
+            transition_audits,
         }
     }
 
@@ -223,13 +271,25 @@ impl Study {
     }
 
     /// Pooled `num[j]` distribution over all random sessions (Figure 3).
+    /// Sized to the widest session so no high-concurrency bin is silently
+    /// truncated (the old bounds check dropped records beyond
+    /// `machine.n_ces` instead of widening the histogram).
     pub fn pooled_num(&self) -> Vec<u64> {
-        let mut num = vec![0u64; self.config.machine.n_ces + 1];
-        for s in &self.random_sessions {
-            for (j, k) in s.pooled_num().iter().enumerate() {
-                if j < num.len() {
-                    num[j] += k;
-                }
+        let per: Vec<Vec<u64>> = self
+            .random_sessions
+            .iter()
+            .map(|s| s.pooled_num())
+            .collect();
+        let width = per
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(self.config.machine.n_ces + 1);
+        let mut num = vec![0u64; width];
+        for p in &per {
+            for (j, &k) in p.iter().enumerate() {
+                num[j] += k;
             }
         }
         num
@@ -269,6 +329,98 @@ impl Study {
             }
         }
         acc
+    }
+
+    /// Pool every session's audit report into one study-wide summary.
+    pub fn audit_report(&self) -> StudyAuditReport {
+        let mut out = StudyAuditReport::default();
+        for (i, s) in self.random_sessions.iter().enumerate() {
+            out.add_session(format!("random {i}"), &s.audit);
+        }
+        for (i, a) in self.triggered_audits.iter().enumerate() {
+            out.add_session(format!("triggered {i}"), a);
+        }
+        for (i, a) in self.transition_audits.iter().enumerate() {
+            out.add_session(format!("transition {i}"), a);
+        }
+        out
+    }
+}
+
+/// One session's slice of the study-wide audit summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionAudit {
+    /// Which session the report came from ("random 3", "triggered 0", ...).
+    pub label: String,
+    /// Cycles the per-cycle auditor checked in that session.
+    pub checked_cycles: u64,
+    /// The violations it recorded (capped per session; see
+    /// [`fx8_sim::audit::MAX_RECORDED_VIOLATIONS`]).
+    pub violations: Vec<Violation>,
+}
+
+/// All sessions' audit reports pooled, with a text rendering for the
+/// `reproduce --audit` command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StudyAuditReport {
+    /// Per-session slices, in random/triggered/transition order.
+    pub sessions: Vec<SessionAudit>,
+    /// Total cycles checked across every session.
+    pub checked_cycles: u64,
+    /// Total violations recorded (excluding those dropped past the cap).
+    pub violations: u64,
+    /// Violations dropped once per-session caps were hit.
+    pub dropped_violations: u64,
+}
+
+impl StudyAuditReport {
+    fn add_session(&mut self, label: String, rep: &AuditReport) {
+        self.checked_cycles += rep.checked_cycles;
+        self.violations += rep.violations.len() as u64;
+        self.dropped_violations += rep.dropped_violations;
+        self.sessions.push(SessionAudit {
+            label,
+            checked_cycles: rep.checked_cycles,
+            violations: rep.violations.clone(),
+        });
+    }
+
+    /// No violations anywhere (including dropped ones)?
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Recorded plus dropped violations.
+    pub fn total_violations(&self) -> u64 {
+        self.violations + self.dropped_violations
+    }
+
+    /// Human-readable summary, one line per violation.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "audit: {} cycles checked across {} sessions",
+            self.checked_cycles,
+            self.sessions.len()
+        );
+        if self.is_clean() {
+            let _ = writeln!(s, "audit: clean — zero invariant violations");
+        } else {
+            let _ = writeln!(
+                s,
+                "audit: {} violations ({} dropped past the per-session cap)",
+                self.total_violations(),
+                self.dropped_violations
+            );
+            for sess in &self.sessions {
+                for v in &sess.violations {
+                    let _ = writeln!(s, "  [{}] {v}", sess.label);
+                }
+            }
+        }
+        s
     }
 }
 
@@ -345,5 +497,55 @@ mod tests {
             .sum();
         assert_eq!(pooled.records, by_session);
         assert_eq!(s.pooled_num().iter().sum::<u64>(), pooled.records);
+    }
+
+    #[test]
+    fn empty_session_hours_falls_back_to_paper_default() {
+        // Regression: Study::run indexed session_hours[0] unconditionally,
+        // so an empty vector panicked before the first session even ran.
+        // Use the tiny machine and skip triggered/transition sessions to
+        // keep the fallback 6-hour random session affordable.
+        let cfg = StudyConfig {
+            machine: MachineConfig::tiny(),
+            n_random: 1,
+            session_hours: Vec::new(),
+            n_triggered: 0,
+            n_transition: 0,
+            parallel: false,
+            ..StudyConfig::paper()
+        };
+        assert!((cfg.hours_for_session(0) - DEFAULT_SESSION_HOURS).abs() < 1e-12);
+        assert!(cfg.validate().is_ok(), "empty session_hours is legal");
+        let s = Study::run(cfg);
+        assert_eq!(s.random_sessions.len(), 1);
+        assert!(!s.random_sessions[0].samples.is_empty());
+    }
+
+    #[test]
+    fn study_config_validate_rejects_bad_hours() {
+        let mut cfg = mini();
+        cfg.session_hours = vec![4.0, f64::NAN];
+        assert!(cfg.validate().is_err());
+        cfg.session_hours = vec![-1.0];
+        assert!(cfg.validate().is_err());
+        assert!(StudyConfig::paper().validate().is_ok());
+        assert!(StudyConfig::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn audit_report_pools_every_session() {
+        let s = Study::run(mini());
+        let rep = s.audit_report();
+        assert_eq!(rep.sessions.len(), 2 + 1 + 1);
+        // Without the audit feature the reports are empty-but-clean; with
+        // it they must be clean too (the dedicated audit suite asserts the
+        // stronger property on larger runs).
+        assert!(rep.is_clean(), "{}", rep.render());
+        if cfg!(feature = "audit") {
+            assert!(rep.checked_cycles > 0, "auditor saw every stepped cycle");
+        } else {
+            assert_eq!(rep.checked_cycles, 0);
+        }
+        assert!(rep.render().contains("clean"));
     }
 }

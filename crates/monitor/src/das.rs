@@ -87,6 +87,22 @@ pub struct DasMonitor {
     cfg: DasConfig,
 }
 
+/// Σ per-CE (active_cycles, bus_busy_cycles) — the simulator's own counters,
+/// incremented by the stepper independently of probe-word assembly. Over a
+/// captured window their deltas must equal what the reduced probe stream
+/// claims, which is exactly what the audit cross-check verifies.
+#[cfg(feature = "audit")]
+fn ground_truth(cluster: &Cluster) -> (u64, u64) {
+    let mut active = 0u64;
+    let mut busy = 0u64;
+    for ce in 0..cluster.config().n_ces {
+        let s = cluster.ce_stats(ce);
+        active += s.active_cycles;
+        busy += s.bus_busy_cycles;
+    }
+    (active, busy)
+}
+
 impl DasMonitor {
     /// Build a monitor with the given configuration.
     pub fn new(cfg: DasConfig) -> Self {
@@ -98,6 +114,55 @@ impl DasMonitor {
         self.cfg
     }
 
+    /// Compare the deltas a completed acquisition added to `counts` against
+    /// the cluster's ground-truth counters over the same window, and run the
+    /// accumulator's conservation laws. Any mismatch is filed as a violation
+    /// on the cluster's audit report (component `"monitor"`): the probe
+    /// stream and the simulator disagreeing about how many cycles each CE
+    /// was active/driving its bus means one of them is lying.
+    #[cfg(feature = "audit")]
+    fn cross_check(
+        &self,
+        cluster: &mut Cluster,
+        counts: &EventCounts,
+        before: (u64, u64, u64),
+        truth_before: (u64, u64),
+    ) {
+        let (records0, prof0, busy0) = before;
+        let (active0, bus0) = truth_before;
+        let (active1, bus1) = ground_truth(cluster);
+        let d_records = counts.records - records0;
+        let d_prof = counts.prof.iter().sum::<u64>() - prof0;
+        let d_busy = counts.busy_ce_cycles() - busy0;
+        // The trigger record is always captured, so even a degenerate
+        // zero-depth buffer yields one record.
+        let expect_records = self.cfg.buffer_depth.max(1) as u64;
+        if d_records != expect_records {
+            cluster.audit_note_violation(
+                "monitor",
+                format!("{expect_records} records in the window"),
+                format!("{d_records}"),
+            );
+        }
+        if d_prof != active1 - active0 {
+            cluster.audit_note_violation(
+                "monitor",
+                format!("Δ prof = Δ active_cycles = {}", active1 - active0),
+                format!("{d_prof}"),
+            );
+        }
+        if d_busy != bus1 - bus0 {
+            cluster.audit_note_violation(
+                "monitor",
+                format!("Δ busy ceop = Δ bus_busy_cycles = {}", bus1 - bus0),
+                format!("{d_busy}"),
+            );
+        }
+        if let Err(e) = counts.validate() {
+            cluster.audit_note_violation("monitor", "accumulator conservation laws".to_string(), e);
+        }
+    }
+
     /// Arm against `cluster`, wait for the trigger, fill the buffer.
     /// The cluster advances by however many cycles the wait plus the
     /// capture take (hardware monitoring is non-intrusive: the machine
@@ -107,6 +172,8 @@ impl DasMonitor {
         let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
         let armed_at = cluster.now();
         loop {
+            #[cfg(feature = "audit")]
+            let truth0 = ground_truth(cluster);
             let w = cluster.step();
             if trig.fire(&w) {
                 let mut records = Vec::with_capacity(self.cfg.buffer_depth);
@@ -114,6 +181,11 @@ impl DasMonitor {
                 records.push(w);
                 while records.len() < self.cfg.buffer_depth {
                     records.push(cluster.step());
+                }
+                #[cfg(feature = "audit")]
+                {
+                    let counts = EventCounts::reduce(&records, n_ces);
+                    self.cross_check(cluster, &counts, (0, 0, 0), truth0);
                 }
                 return Ok(Acquisition {
                     records,
@@ -162,6 +234,14 @@ impl DasMonitor {
         let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
         let armed_at = cluster.now();
         loop {
+            #[cfg(feature = "audit")]
+            let truth0 = ground_truth(cluster);
+            #[cfg(feature = "audit")]
+            let before = (
+                counts.records,
+                counts.prof.iter().sum::<u64>(),
+                counts.busy_ce_cycles(),
+            );
             let w = cluster.step();
             if trig.fire(&w) {
                 let triggered_at = w.cycle;
@@ -169,6 +249,8 @@ impl DasMonitor {
                 for _ in 1..self.cfg.buffer_depth {
                     counts.accumulate_word(&cluster.step());
                 }
+                #[cfg(feature = "audit")]
+                self.cross_check(cluster, counts, before, truth0);
                 return Ok(triggered_at);
             }
             if cluster.now() - armed_at >= self.cfg.timeout_cycles {

@@ -99,19 +99,27 @@ impl EventCounts {
         self.records += other.records;
     }
 
-    /// *CE Bus Busy*: "the fraction of processor-to-cache bus cycles that
-    /// are not idle ... the average value of this fraction over all eight
-    /// busses" (§ 5). Zero for an empty reduction.
-    pub fn ce_bus_busy(&self) -> f64 {
-        if self.records == 0 {
-            return 0.0;
-        }
-        let busy: u64 = CeBusOp::ALL
+    /// CE-bus cycles carrying a non-idle opcode, summed over all buses —
+    /// the numerator of [`EventCounts::ce_bus_busy`] and the quantity the
+    /// audit cross-check compares against per-CE ground-truth counters.
+    pub fn busy_ce_cycles(&self) -> u64 {
+        CeBusOp::ALL
             .iter()
             .filter(|op| op.is_busy())
             .map(|op| self.ceop[op.index()])
-            .sum();
-        busy as f64 / (self.records * self.n_ces as u64) as f64
+            .sum()
+    }
+
+    /// *CE Bus Busy*: "the fraction of processor-to-cache bus cycles that
+    /// are not idle ... the average value of this fraction over all eight
+    /// busses" (§ 5). Zero for an empty reduction — the whole denominator
+    /// is guarded, so a degenerate zero-width accumulator yields 0, not NaN.
+    pub fn ce_bus_busy(&self) -> f64 {
+        let denom = self.records * self.n_ces as u64;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.busy_ce_cycles() as f64 / denom as f64
     }
 
     /// *Missrate*: "the fraction of total bus cycles corresponding to
@@ -134,6 +142,69 @@ impl EventCounts {
             .map(|op| self.membop[op.index()])
             .sum();
         busy as f64 / self.records as f64
+    }
+
+    /// Check the conservation laws that tie the reduced counts together.
+    /// Every well-formed reduction of `records` probe words satisfies:
+    /// `Σ num[j] == records`, `Σ ceop == records·n_ces`, `Σ membop ==
+    /// records`, and `Σ j·num[j] == Σ prof[j]` (each record with `j`
+    /// processors active contributes `j` profile counts), with every
+    /// `prof[j] ≤ records`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num.len() != self.n_ces + 1 {
+            return Err(format!(
+                "num has {} bins, expected n_ces + 1 = {}",
+                self.num.len(),
+                self.n_ces + 1
+            ));
+        }
+        if self.prof.len() != self.n_ces {
+            return Err(format!(
+                "prof has {} slots, expected n_ces = {}",
+                self.prof.len(),
+                self.n_ces
+            ));
+        }
+        let num_sum: u64 = self.num.iter().sum();
+        if num_sum != self.records {
+            return Err(format!(
+                "Σ num[j] = {num_sum} != records = {}",
+                self.records
+            ));
+        }
+        let ceop_sum: u64 = self.ceop.iter().sum();
+        let ceop_expect = self.records * self.n_ces as u64;
+        if ceop_sum != ceop_expect {
+            return Err(format!(
+                "Σ ceop = {ceop_sum} != records·n_ces = {ceop_expect}"
+            ));
+        }
+        let membop_sum: u64 = self.membop.iter().sum();
+        if membop_sum != self.records {
+            return Err(format!(
+                "Σ membop = {membop_sum} != records = {}",
+                self.records
+            ));
+        }
+        let weighted: u64 = self
+            .num
+            .iter()
+            .enumerate()
+            .map(|(j, &k)| j as u64 * k)
+            .sum();
+        let prof_sum: u64 = self.prof.iter().sum();
+        if weighted != prof_sum {
+            return Err(format!("Σ j·num[j] = {weighted} != Σ prof[j] = {prof_sum}"));
+        }
+        for (j, &p) in self.prof.iter().enumerate() {
+            if p > self.records {
+                return Err(format!(
+                    "prof[{j}] = {p} exceeds records = {}",
+                    self.records
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -236,5 +307,31 @@ mod tests {
         assert_eq!(c.ce_bus_busy(), 0.0);
         assert_eq!(c.missrate(), 0.0);
         assert_eq!(c.mem_bus_busy(), 0.0);
+    }
+
+    #[test]
+    fn zero_width_accumulator_has_finite_rates() {
+        // Regression: a zero-CE accumulator with records folded in used to
+        // compute ce_bus_busy as 0/0 = NaN (records > 0, n_ces == 0 slips
+        // past a records-only guard).
+        let mut c = EventCounts::empty(0);
+        c.accumulate_word(&ProbeWord::idle(0));
+        assert_eq!(c.records, 1);
+        assert!(c.ce_bus_busy().is_finite());
+        assert_eq!(c.ce_bus_busy(), 0.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_real_reductions_and_rejects_corruption() {
+        let records = vec![
+            word(0, CeBusOp::Idle, MemBusOp::Idle),
+            word(0b11, CeBusOp::Read, MemBusOp::Fetch),
+            word(0b1000_0001, CeBusOp::Write, MemBusOp::Idle),
+        ];
+        let mut c = EventCounts::reduce(&records, 8);
+        assert!(c.validate().is_ok());
+        c.prof[0] += 1; // break Σ j·num[j] == Σ prof[j]
+        assert!(c.validate().is_err());
     }
 }

@@ -127,6 +127,12 @@ impl SetAssocCache {
         self.sets[set].iter().any(|e| e.line == line)
     }
 
+    /// Peek at the resident entry for `line` in `set`, without LRU update
+    /// or stats side effects (coherence audits).
+    pub fn entry(&self, set: usize, line: LineId) -> Option<Entry> {
+        self.sets[set].iter().find(|e| e.line == line).copied()
+    }
+
     /// Install `line` as MRU in `set`; returns the victim if the set was full.
     /// The line must not already be resident (fill-after-miss discipline).
     pub fn fill(&mut self, set: usize, line: LineId, dirty: bool, unique: bool) -> Option<Evicted> {

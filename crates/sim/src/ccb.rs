@@ -216,6 +216,17 @@ impl Ccb {
     pub fn post_sync(&mut self, value: u64) {
         self.sync_value = self.sync_value.max(value);
     }
+
+    /// Loop progress `(next, done, total)` of the mounted loop, if any —
+    /// the ground truth the invariant auditor checks dispatch against.
+    pub fn progress(&self) -> Option<(u64, u64, u64)> {
+        self.state.map(|s| (s.next, s.done, s.total))
+    }
+
+    /// Current value of the synchronization register.
+    pub fn sync_value(&self) -> u64 {
+        self.sync_value
+    }
 }
 
 #[cfg(test)]

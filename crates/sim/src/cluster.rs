@@ -92,16 +92,16 @@ enum ResumeAction {
 pub struct Cluster {
     cfg: MachineConfig,
     now: Cycle,
-    ces: Vec<Ce>,
+    pub(crate) ces: Vec<Ce>,
     resume_actions: Vec<Option<ResumeAction>>,
     /// Whether the current op's VM check has been performed.
     vm_checked: Vec<bool>,
     /// Whether the current op's instruction fetch has been performed.
     op_fetched: Vec<bool>,
-    caches: CacheSystem,
-    crossbar: Crossbar,
-    membus: MemBusSystem,
-    ccb: Ccb,
+    pub(crate) caches: CacheSystem,
+    pub(crate) crossbar: Crossbar,
+    pub(crate) membus: MemBusSystem,
+    pub(crate) ccb: Ccb,
     vm: Vm,
     ip: IpSubsystem,
     load: Load,
@@ -112,6 +112,9 @@ pub struct Cluster {
     refill_buf: Vec<Op>,
     /// Scratch op buffer for loop-iteration generation, likewise reused.
     iter_buf: Vec<Op>,
+    /// Per-cycle invariant checker (compiled in under the `audit` feature).
+    #[cfg(feature = "audit")]
+    auditor: crate::audit::Auditor,
 }
 
 impl Cluster {
@@ -145,6 +148,8 @@ impl Cluster {
             fault_seq: 0,
             refill_buf: Vec::new(),
             iter_buf: Vec::new(),
+            #[cfg(feature = "audit")]
+            auditor: crate::audit::Auditor::default(),
         }
     }
 
@@ -163,6 +168,25 @@ impl Cluster {
     pub fn advance_clock(&mut self, to: Cycle) {
         assert!(to >= self.now, "clock cannot move backwards");
         self.now = to;
+        #[cfg(feature = "audit")]
+        self.auditor.note_external_change();
+    }
+
+    /// Snapshot of the invariant auditor's findings for this machine.
+    /// With the `audit` feature off this is always the empty report.
+    pub fn audit_report(&self) -> crate::audit::AuditReport {
+        #[cfg(feature = "audit")]
+        return self.auditor.report().clone();
+        #[cfg(not(feature = "audit"))]
+        crate::audit::AuditReport::default()
+    }
+
+    /// File a violation detected by an external cross-check (the monitor
+    /// comparing reduced probe counts against ground-truth counters).
+    #[cfg(feature = "audit")]
+    pub fn audit_note_violation(&mut self, component: &str, expected: String, actual: String) {
+        self.auditor
+            .external_violation(self.now, component, expected, actual);
     }
 
     /// What the cluster is currently doing.
@@ -227,6 +251,8 @@ impl Cluster {
 
     /// Unmount everything from the cluster (detached jobs stay).
     pub fn mount_idle(&mut self) {
+        #[cfg(feature = "audit")]
+        self.auditor.note_external_change();
         self.load = Load::Idle;
         self.ccb.clear();
         for i in 0..self.ces.len() {
@@ -285,6 +311,8 @@ impl Cluster {
     /// execute whenever the cluster has not claimed that CE and never
     /// asserts the CCB activity line.
     pub fn mount_detached(&mut self, ce: CeId, code: Box<dyn SerialCode>, asid: Asid) {
+        #[cfg(feature = "audit")]
+        self.auditor.note_external_change();
         self.ces[ce].unmount();
         self.ces[ce].set_code(code.code());
         self.ces[ce].role = CeRole::Detached;
@@ -296,6 +324,8 @@ impl Cluster {
 
     /// Remove the detached process from CE `ce`.
     pub fn clear_detached(&mut self, ce: CeId) {
+        #[cfg(feature = "audit")]
+        self.auditor.note_external_change();
         self.detached[ce] = None;
         if self.ces[ce].role == CeRole::Detached {
             self.ces[ce].unmount();
@@ -708,6 +738,16 @@ impl Cluster {
             // No analyzer armed: skip the probe decode, but still bound
             // the start-record ring (the probe normally collects it).
             self.membus.gc(now);
+        }
+
+        // --- Invariant audit (compiled out without the `audit` feature).
+        // The auditor is taken out of `self` so it can borrow the rest of
+        // the machine; the swapped-in default is heap-free.
+        #[cfg(feature = "audit")]
+        {
+            let mut aud = std::mem::take(&mut self.auditor);
+            aud.check_cycle(self, &word, &req_bank[..n], &granted[..n]);
+            self.auditor = aud;
         }
 
         self.now += 1;

@@ -149,6 +149,11 @@ pub struct CacheSystem {
     ipc: SetAssocCache,
     ipc_sets: u64,
     stats: SystemStats,
+    /// Coherence-rule violations observed after accesses, drained by the
+    /// invariant auditor once per cycle. Empty (and allocation-free) unless
+    /// the coherence protocol is actually broken.
+    #[cfg(feature = "audit")]
+    audit_log: Vec<(LineId, String)>,
 }
 
 impl CacheSystem {
@@ -172,6 +177,8 @@ impl CacheSystem {
             ipc: SetAssocCache::new(ipc_sets as usize, ipc_assoc),
             ipc_sets,
             stats: SystemStats::default(),
+            #[cfg(feature = "audit")]
+            audit_log: Vec::new(),
         }
     }
 
@@ -276,6 +283,8 @@ impl CacheSystem {
                 };
                 local.mark_dirty(local_set, line);
             }
+            #[cfg(feature = "audit")]
+            self.audit_line(line);
             return AccessOutcome { hit: true, bus };
         }
 
@@ -338,7 +347,51 @@ impl CacheSystem {
                 bus.push(BusTxn::WriteBack);
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_line(line);
         AccessOutcome { hit: false, bus }
+    }
+
+    /// Check the unique-copy-before-modify invariant for `line` after an
+    /// access: if both caches hold the line neither copy may be dirty or
+    /// unique, and within one cache a dirty copy must be unique.
+    #[cfg(feature = "audit")]
+    fn audit_line(&mut self, line: LineId) {
+        let bank = self.bank_of(line);
+        let cpc = self.banks[bank].entry(self.cpc_set(line), line);
+        let ipc = self.ipc.entry(self.ipc_set(line), line);
+        if let (Some(c), Some(i)) = (cpc, ipc) {
+            if c.dirty || i.dirty || c.unique || i.unique {
+                self.audit_log.push((
+                    line,
+                    format!(
+                        "both caches hold the line but it is not clean-shared \
+                         (cpc dirty={} unique={}, ipc dirty={} unique={})",
+                        c.dirty, c.unique, i.dirty, i.unique
+                    ),
+                ));
+            }
+        }
+        for (name, entry) in [("cpc", cpc), ("ipc", ipc)] {
+            if let Some(e) = entry {
+                if e.dirty && !e.unique {
+                    self.audit_log
+                        .push((line, format!("{name} holds the line dirty but not unique")));
+                }
+            }
+        }
+    }
+
+    /// Whether any coherence violations are pending collection.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_log_is_empty(&self) -> bool {
+        self.audit_log.is_empty()
+    }
+
+    /// Drain the pending coherence violations.
+    #[cfg(feature = "audit")]
+    pub(crate) fn take_audit_log(&mut self) -> Vec<(LineId, String)> {
+        std::mem::take(&mut self.audit_log)
     }
 }
 

@@ -113,6 +113,41 @@ impl Crossbar {
             }
         }
     }
+
+    /// Capacity invariants over one cycle's arbitration outcome: a grant
+    /// implies a request, at most one grant per bank, and the granted bank
+    /// was claimed for service. Allocation-free (nested scan over ≤ 8 CEs).
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_check(
+        &self,
+        now: Cycle,
+        requests: &[Option<usize>],
+        granted: &[bool],
+    ) -> Result<(), String> {
+        for (ce, &g) in granted.iter().enumerate() {
+            if !g {
+                continue;
+            }
+            let Some(bank) = requests[ce] else {
+                return Err(format!("CE{ce} granted without a request"));
+            };
+            if self.bank_busy_until[bank] < now {
+                return Err(format!(
+                    "CE{ce} granted bank {bank} but the bank was never claimed \
+                     (busy_until {} < now {now})",
+                    self.bank_busy_until[bank]
+                ));
+            }
+            for (other, &g2) in granted.iter().enumerate() {
+                if other != ce && g2 && requests[other] == Some(bank) {
+                    return Err(format!(
+                        "bank {bank} granted to CE{ce} and CE{other} in the same cycle"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@
 //! | [`probe`] | the logic-analyzer probe word |
 
 pub mod addr;
+pub mod audit;
 pub mod cache;
 pub mod ccb;
 pub mod ce;

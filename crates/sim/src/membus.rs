@@ -144,6 +144,22 @@ impl MemBusSystem {
     pub fn any_busy(&self, now: Cycle) -> bool {
         self.bus_free.iter().any(|&t| t > now)
     }
+
+    /// The one-start-per-cycle arbitration rule the probe decodes: the
+    /// start record must be strictly increasing in cycle. Allocation-free.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_check(&self) -> Result<(), String> {
+        let mut prev: Option<Cycle> = None;
+        for &(t, _) in &self.starts {
+            if let Some(p) = prev {
+                if t <= p {
+                    return Err(format!("start records out of order: cycle {p} then {t}"));
+                }
+            }
+            prev = Some(t);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,33 @@ impl ProbeWord {
     pub fn is_concurrent(&self) -> bool {
         self.active_count() >= 2
     }
+
+    /// Structural well-formedness for a cluster of `n_ces` CEs: no activity
+    /// lines or CE-bus opcodes above the cluster width. The invariant
+    /// auditor applies this to every stepped cycle; tests may use it on
+    /// captured buffers.
+    pub fn check_wellformed(&self, n_ces: usize) -> Result<(), String> {
+        debug_assert!((1..=MAX_CES).contains(&n_ces));
+        let width_mask = if n_ces >= 8 {
+            u8::MAX
+        } else {
+            (1u8 << n_ces) - 1
+        };
+        if self.active_mask & !width_mask != 0 {
+            return Err(format!(
+                "active_mask {:#010b} asserts lines beyond the {n_ces}-CE cluster",
+                self.active_mask
+            ));
+        }
+        for (j, op) in self.ce_ops.iter().enumerate().skip(n_ces) {
+            if *op != CeBusOp::Idle {
+                return Err(format!(
+                    "ce_ops[{j}] = {op:?} beyond the {n_ces}-CE cluster"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,10 @@ impl FreqDist {
         );
         let mut freq = vec![0u64; midpoints.len()];
         for &v in values {
+            debug_assert!(
+                v.is_finite(),
+                "non-finite value {v} would silently cluster into bin 0"
+            );
             freq[nearest_bin(v, midpoints)] += 1;
         }
         FreqDist {
@@ -121,7 +125,12 @@ impl FreqDist {
 
 /// Index of the nearest midpoint (ties round toward the higher bin,
 /// matching SAS's half-up clustering).
+///
+/// `v` must be finite: a NaN makes every distance comparison below false,
+/// so it would land in bin 0 — indistinguishable from a real low value and
+/// exactly how a NaN rate once skewed a distribution undetected.
 pub fn nearest_bin(v: f64, midpoints: &[f64]) -> usize {
+    debug_assert!(v.is_finite(), "nearest_bin({v}) is not meaningful");
     let mut best = 0usize;
     let mut best_d = f64::INFINITY;
     for (i, &m) in midpoints.iter().enumerate() {
@@ -197,6 +206,22 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_midpoints_rejected() {
         FreqDist::from_values(&[1.0], &[1.0, 0.0]);
+    }
+
+    // debug_assertions-gated: `cargo test --release` (as CI runs it)
+    // compiles the guards out, so the panics only exist in debug builds.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not meaningful")]
+    fn nan_values_are_rejected_by_nearest_bin() {
+        nearest_bin(f64::NAN, &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "silently cluster")]
+    fn nan_values_are_rejected_by_from_values() {
+        FreqDist::from_values(&[0.5, f64::NAN], &[0.0, 1.0]);
     }
 
     #[test]
