@@ -17,6 +17,11 @@
 //! (`current` key; `--as-baseline` rewrites `baseline` too; a binary built
 //! with `--features audit` records under the `audited` key instead).
 //!
+//! `--bench-json --check-regression` measures but does **not** rewrite the
+//! file: it exits nonzero if the fresh `loop_cycles_per_sec` falls more
+//! than 15% below the committed `current` entry. CI's `bench-smoke` job
+//! runs this to catch throughput regressions before they merge.
+//!
 //! `--audit` prints the study's invariant-audit report after the run and
 //! exits nonzero if any violation was recorded. Meaningful only when built
 //! with `--features audit`; otherwise the report is vacuous and a warning
@@ -29,7 +34,7 @@ use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: reproduce [--quick] [--audit] [--out DIR] [--bench-json [--as-baseline]] [IDS...]\n\
+    "usage: reproduce [--quick] [--audit] [--out DIR] [--bench-json [--as-baseline | --check-regression]] [IDS...]\n\
      IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 figB1..figB10 comparison"
 }
 
@@ -39,6 +44,7 @@ struct Args {
     out: Option<String>,
     bench_json: bool,
     as_baseline: bool,
+    check_regression: bool,
     ids: BTreeSet<String>,
 }
 
@@ -48,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut bench_json = false;
     let mut as_baseline = false;
+    let mut check_regression = false;
     let mut ids = BTreeSet::new();
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -59,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bench-json" => bench_json = true,
             "--as-baseline" => as_baseline = true,
+            "--check-regression" => check_regression = true,
             "--help" | "-h" => return Err(usage().to_string()),
             id if !id.starts_with('-') => {
                 ids.insert(id.to_ascii_lowercase());
@@ -69,20 +77,76 @@ fn parse_args() -> Result<Args, String> {
     if as_baseline && !bench_json {
         return Err(format!("--as-baseline requires --bench-json\n{}", usage()));
     }
+    if check_regression && !bench_json {
+        return Err(format!(
+            "--check-regression requires --bench-json\n{}",
+            usage()
+        ));
+    }
+    if check_regression && as_baseline {
+        return Err(format!(
+            "--check-regression and --as-baseline are mutually exclusive\n{}",
+            usage()
+        ));
+    }
     Ok(Args {
         quick,
         audit,
         out,
         bench_json,
         as_baseline,
+        check_regression,
         ids,
     })
+}
+
+/// Allowed shortfall of a fresh measurement against the committed rate
+/// before `--check-regression` fails: benchmarks on shared CI runners
+/// jitter, a real regression from a code change does not hide inside 15%.
+const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Measure throughput against the committed `current` entry without
+/// rewriting the file. Fails if `loop_cycles_per_sec` dropped >15%.
+fn run_check_regression(path: &str) -> ExitCode {
+    let committed = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok())
+    {
+        Some(f) => f.current,
+        None => {
+            eprintln!("cannot load committed {path}; nothing to check against");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("measuring simulation throughput for regression check...");
+    let fresh = throughput::measure(1.0, StudyConfig::quick());
+    print!("{}", throughput::render("committed", &committed));
+    print!("{}", throughput::render("fresh", &fresh));
+    let floor = committed.loop_cycles_per_sec * (1.0 - REGRESSION_TOLERANCE);
+    if fresh.loop_cycles_per_sec < floor {
+        eprintln!(
+            "REGRESSION: loop throughput {:.0} cycles/s fell below {:.0} \
+             ({}% under the committed {:.0})",
+            fresh.loop_cycles_per_sec,
+            floor,
+            (REGRESSION_TOLERANCE * 100.0) as u32,
+            committed.loop_cycles_per_sec,
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "ok: loop throughput {:.0} cycles/s within {}% of committed {:.0}",
+        fresh.loop_cycles_per_sec,
+        (REGRESSION_TOLERANCE * 100.0) as u32,
+        committed.loop_cycles_per_sec,
+    );
+    ExitCode::SUCCESS
 }
 
 /// Measure throughput and merge into `BENCH_throughput.json` at the repo root.
 fn run_bench_json(as_baseline: bool) -> ExitCode {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-    eprintln!("measuring simulation throughput (idle / serial / loop / quick study)...");
+    eprintln!("measuring simulation throughput (idle / serial / loop / ff loop / quick study)...");
     let current = throughput::measure(1.0, StudyConfig::quick());
     let previous = std::fs::read_to_string(path)
         .ok()
@@ -113,6 +177,10 @@ fn main() -> ExitCode {
     };
 
     if args.bench_json {
+        if args.check_regression {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+            return run_check_regression(path);
+        }
         return run_bench_json(args.as_baseline);
     }
 

@@ -1,6 +1,8 @@
 //! Simulation-throughput measurement: cycles simulated per wall-clock
-//! second for the three machine states the workload alternates between,
-//! plus the wall time of a full quick study.
+//! second for the machine states the workload alternates between (plus a
+//! skip-heavy join-wait loop that showcases event-horizon fast-forward),
+//! each state's `cycles_skipped / cycles_total` skip ratio, and the wall
+//! time of a full quick study.
 //!
 //! This is the perf trajectory of the repository: `reproduce --bench-json`
 //! writes the numbers to `BENCH_throughput.json` at the repo root under a
@@ -11,11 +13,11 @@
 use fx8_core::study::{Study, StudyConfig};
 use fx8_sim::{Cluster, MachineConfig};
 use fx8_workload::{kernels, WorkloadMix};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::time::Instant;
 
 /// One set of throughput measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ThroughputNumbers {
     /// Cycles/sec with no process mounted (IP background traffic only).
     pub idle_cycles_per_sec: f64,
@@ -23,8 +25,51 @@ pub struct ThroughputNumbers {
     pub serial_cycles_per_sec: f64,
     /// Cycles/sec with a full-width concurrent loop running.
     pub loop_cycles_per_sec: f64,
+    /// Cycles/sec with the dependence-bound join-wait loop running — the
+    /// fast-forward engine's best case among mounted workloads, where one
+    /// CE computes the critical section while seven wait on the CCB.
+    pub ff_loop_cycles_per_sec: f64,
+    /// `cycles_skipped / cycles_total` for the idle measurement.
+    pub idle_skip_ratio: f64,
+    /// `cycles_skipped / cycles_total` for the serial measurement.
+    pub serial_skip_ratio: f64,
+    /// `cycles_skipped / cycles_total` for the full-width loop measurement.
+    pub loop_skip_ratio: f64,
+    /// `cycles_skipped / cycles_total` for the join-wait loop measurement.
+    pub ff_loop_skip_ratio: f64,
     /// Wall time of `Study::run(StudyConfig::quick())`, seconds.
     pub quick_study_wall_s: f64,
+}
+
+// Hand-written so files from before the fast-forward engine still load:
+// the vendored serde errors on any missing field, so the fields this PR
+// added deserialize as 0.0 ("not measured") when a stored file lacks them.
+impl serde::Deserialize for ThroughputNumbers {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let req = |name: &str| -> Result<f64, serde::Error> {
+            serde::Deserialize::from_value(
+                v.get(name)
+                    .ok_or_else(|| serde::Error::missing_field(name))?,
+            )
+        };
+        let opt = |name: &str| -> Result<f64, serde::Error> {
+            match v.get(name) {
+                Some(x) => serde::Deserialize::from_value(x),
+                None => Ok(0.0),
+            }
+        };
+        Ok(ThroughputNumbers {
+            idle_cycles_per_sec: req("idle_cycles_per_sec")?,
+            serial_cycles_per_sec: req("serial_cycles_per_sec")?,
+            loop_cycles_per_sec: req("loop_cycles_per_sec")?,
+            ff_loop_cycles_per_sec: opt("ff_loop_cycles_per_sec")?,
+            idle_skip_ratio: opt("idle_skip_ratio")?,
+            serial_skip_ratio: opt("serial_skip_ratio")?,
+            loop_skip_ratio: opt("loop_skip_ratio")?,
+            ff_loop_skip_ratio: opt("ff_loop_skip_ratio")?,
+            quick_study_wall_s: req("quick_study_wall_s")?,
+        })
+    }
 }
 
 /// The persisted `BENCH_throughput.json` contents.
@@ -90,6 +135,45 @@ pub fn loop_cluster(seed: u64) -> Cluster {
     c
 }
 
+/// A cluster running a dependence-bound "join-wait" loop: nearly the whole
+/// iteration body sits inside the iteration-carried critical section, so
+/// at any instant one CE computes while the other seven block on the CCB
+/// sync register — the fast-forward engine's best mounted-workload case.
+pub fn join_wait_cluster(seed: u64) -> Cluster {
+    let mut c = idle_cluster(seed);
+    let k = kernels::LoopKernel {
+        name: "join-wait".into(),
+        iters: 1_000_000_000,
+        panel_lines: 16,
+        panel_refs: 2,
+        stream_lines: 1,
+        store_lines: 1,
+        compute: 400,
+        code_bytes: 512,
+        dependence: Some(0.95),
+        variance: 0.0,
+    };
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
+    c.run(20_000);
+    c
+}
+
+/// `cycles_skipped / cycles_total` over everything `cluster` has run.
+pub fn skip_ratio(cluster: &Cluster) -> f64 {
+    let (skipped, total) = cluster.skip_counters();
+    if total == 0 {
+        0.0
+    } else {
+        skipped as f64 / total as f64
+    }
+}
+
 /// Cycles/sec of `Cluster::run` on `cluster`, timed over at least
 /// `min_wall_s` of wall clock in `chunk`-cycle slices.
 pub fn measure_run(cluster: &mut Cluster, chunk: u64, min_wall_s: f64) -> f64 {
@@ -107,23 +191,34 @@ pub fn measure_run(cluster: &mut Cluster, chunk: u64, min_wall_s: f64) -> f64 {
     }
 }
 
-/// Measure all four numbers. `min_wall_s` bounds the timing window per
+/// Measure every throughput number, including each mounted state's
+/// fast-forward skip ratio. `min_wall_s` bounds the timing window per
 /// machine state; `study_cfg` is the study timed for the last number
 /// (`StudyConfig::quick()` for the persisted measurements — smoke tests
 /// pass something smaller).
 pub fn measure(min_wall_s: f64, study_cfg: StudyConfig) -> ThroughputNumbers {
     const CHUNK: u64 = 100_000;
-    let idle = measure_run(&mut idle_cluster(1), CHUNK, min_wall_s);
-    let serial = measure_run(&mut serial_cluster(2), CHUNK, min_wall_s);
-    let looped = measure_run(&mut loop_cluster(3), CHUNK, min_wall_s);
+    let mut idle = idle_cluster(1);
+    let mut serial = serial_cluster(2);
+    let mut looped = loop_cluster(3);
+    let mut ff_loop = join_wait_cluster(4);
+    let idle_rate = measure_run(&mut idle, CHUNK, min_wall_s);
+    let serial_rate = measure_run(&mut serial, CHUNK, min_wall_s);
+    let loop_rate = measure_run(&mut looped, CHUNK, min_wall_s);
+    let ff_loop_rate = measure_run(&mut ff_loop, CHUNK, min_wall_s);
     let t0 = Instant::now();
     let study = Study::run(study_cfg);
     let quick_wall = t0.elapsed().as_secs_f64();
     assert!(study.pooled_counts().records > 0, "study produced no data");
     ThroughputNumbers {
-        idle_cycles_per_sec: idle,
-        serial_cycles_per_sec: serial,
-        loop_cycles_per_sec: looped,
+        idle_cycles_per_sec: idle_rate,
+        serial_cycles_per_sec: serial_rate,
+        loop_cycles_per_sec: loop_rate,
+        ff_loop_cycles_per_sec: ff_loop_rate,
+        idle_skip_ratio: skip_ratio(&idle),
+        serial_skip_ratio: skip_ratio(&serial),
+        loop_skip_ratio: skip_ratio(&looped),
+        ff_loop_skip_ratio: skip_ratio(&ff_loop),
         quick_study_wall_s: quick_wall,
     }
 }
@@ -131,8 +226,16 @@ pub fn measure(min_wall_s: f64, study_cfg: StudyConfig) -> ThroughputNumbers {
 /// Render one measurement as an aligned text block.
 pub fn render(label: &str, n: &ThroughputNumbers) -> String {
     format!(
-        "{label}:\n  idle:   {:>12.0} cycles/s\n  serial: {:>12.0} cycles/s\n  loop:   {:>12.0} cycles/s\n  quick study: {:.2} s\n",
-        n.idle_cycles_per_sec, n.serial_cycles_per_sec, n.loop_cycles_per_sec, n.quick_study_wall_s
+        "{label}:\n  idle:    {:>12.0} cycles/s  (skip {:.1}%)\n  serial:  {:>12.0} cycles/s  (skip {:.1}%)\n  loop:    {:>12.0} cycles/s  (skip {:.1}%)\n  ff loop: {:>12.0} cycles/s  (skip {:.1}%)\n  quick study: {:.2} s\n",
+        n.idle_cycles_per_sec,
+        n.idle_skip_ratio * 100.0,
+        n.serial_cycles_per_sec,
+        n.serial_skip_ratio * 100.0,
+        n.loop_cycles_per_sec,
+        n.loop_skip_ratio * 100.0,
+        n.ff_loop_cycles_per_sec,
+        n.ff_loop_skip_ratio * 100.0,
+        n.quick_study_wall_s
     )
 }
 
@@ -189,6 +292,11 @@ mod tests {
             idle_cycles_per_sec: 1.0,
             serial_cycles_per_sec: 2.0,
             loop_cycles_per_sec: loop_rate,
+            ff_loop_cycles_per_sec: 4.0,
+            idle_skip_ratio: 0.9,
+            serial_skip_ratio: 0.5,
+            loop_skip_ratio: 0.1,
+            ff_loop_skip_ratio: 0.8,
             quick_study_wall_s: 3.0,
         }
     }
@@ -254,5 +362,45 @@ mod tests {
     fn measure_run_reports_positive_rate() {
         let rate = measure_run(&mut idle_cluster(9), 2_000, 0.01);
         assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn numbers_without_fast_forward_fields_still_load() {
+        // BENCH files written before the fast-forward engine carry only the
+        // original four fields; they must load with the new ones at 0.0.
+        let json = r#"{
+            "idle_cycles_per_sec": 5.0,
+            "serial_cycles_per_sec": 6.0,
+            "loop_cycles_per_sec": 7.0,
+            "quick_study_wall_s": 8.0
+        }"#;
+        let n: ThroughputNumbers = serde_json::from_str(json).unwrap();
+        assert_eq!(n.idle_cycles_per_sec, 5.0);
+        assert_eq!(n.quick_study_wall_s, 8.0);
+        assert_eq!(n.ff_loop_cycles_per_sec, 0.0);
+        assert_eq!(n.idle_skip_ratio, 0.0);
+        assert_eq!(n.ff_loop_skip_ratio, 0.0);
+    }
+
+    #[test]
+    fn numbers_round_trip_with_fast_forward_fields() {
+        let n = numbers(42.0);
+        let json = serde_json::to_string(&n).unwrap();
+        let back: ThroughputNumbers = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn join_wait_cluster_is_skip_heavy() {
+        // The join-wait kernel serializes its iterations, so fast-forward
+        // should skip most cycles; the full-width loop should skip fewer.
+        let mut ff = join_wait_cluster(5);
+        ff.run(200_000);
+        let ratio = skip_ratio(&ff);
+        if cfg!(feature = "audit") {
+            assert_eq!(ratio, 0.0, "audit builds never skip");
+        } else {
+            assert!(ratio > 0.5, "join-wait skip ratio too low: {ratio}");
+        }
     }
 }

@@ -486,6 +486,23 @@ mod tests {
         assert_eq!(first.transitions, serial.transitions);
     }
 
+    /// The fast-forward opt-out knob on `MachineConfig` flows through
+    /// `StudyConfig.machine` into every session of the study; a full run
+    /// with the engine on (the default) must be bit-identical to one with
+    /// it off.
+    #[test]
+    fn fast_forward_on_and_off_studies_are_bit_identical() {
+        let mut cfg = mini();
+        cfg.mix = WorkloadMix::csrd_production();
+        assert!(cfg.machine.fast_forward, "fast-forward is on by default");
+        let on = Study::run(cfg.clone());
+        cfg.machine.fast_forward = false;
+        let off = Study::run(cfg);
+        assert_eq!(on.random_sessions, off.random_sessions);
+        assert_eq!(on.triggered, off.triggered);
+        assert_eq!(on.transitions, off.transitions);
+    }
+
     #[test]
     fn pooling_conserves_records() {
         let s = Study::run(mini());

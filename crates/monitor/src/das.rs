@@ -35,6 +35,20 @@ impl DasConfig {
             timeout_cycles: 2_000_000,
         }
     }
+
+    /// Check the configuration for degenerate values. The acquisition
+    /// paths assume `buffer_depth >= 1` (the trigger record itself is
+    /// always captured); [`DasMonitor::new`] floors the depth the same way
+    /// the session layer floors a zero sample interval, so a zero here is
+    /// reported rather than silently misbehaving.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_depth == 0 {
+            return Err(
+                "buffer_depth must be at least 1 (the trigger record is always captured)".into(),
+            );
+        }
+        Ok(())
+    }
 }
 
 /// A completed acquisition.
@@ -104,8 +118,13 @@ fn ground_truth(cluster: &Cluster) -> (u64, u64) {
 }
 
 impl DasMonitor {
-    /// Build a monitor with the given configuration.
-    pub fn new(cfg: DasConfig) -> Self {
+    /// Build a monitor with the given configuration. A zero `buffer_depth`
+    /// is floored to 1: the trigger record is captured unconditionally by
+    /// both acquisition paths, so depth 0 would silently behave as depth 1
+    /// while the config (and the audit cross-check's expected record
+    /// count) claimed otherwise.
+    pub fn new(mut cfg: DasConfig) -> Self {
+        cfg.buffer_depth = cfg.buffer_depth.max(1);
         DasMonitor { cfg }
     }
 
@@ -163,6 +182,41 @@ impl DasMonitor {
         }
     }
 
+    /// While armed and dormant, let the cluster fast-forward through
+    /// quiescent cycles instead of evaluating records one by one. The
+    /// trigger cannot fire inside a constant-activity window
+    /// ([`TriggerState::dormant`]), and the timeout deadline is threaded to
+    /// the cluster as the next-probe hint so a skip never overshoots the
+    /// cycle on which the per-cycle loop would have given up. Returns
+    /// `Some(err)` when the wait timed out during the skip; `Ok` progress
+    /// and trigger evaluation stay with the caller's per-cycle loop.
+    ///
+    /// Bit-identical to the per-cycle wait: every skipped record would have
+    /// been discarded with `fire == false`, and a timeout reached by
+    /// skipping stops at exactly `armed_at + timeout_cycles`, the cycle the
+    /// per-cycle loop reports.
+    fn skip_dormant_wait(
+        &self,
+        cluster: &mut Cluster,
+        trig: &mut TriggerState,
+        armed_at: Cycle,
+        deadline: Cycle,
+    ) -> Option<AcquireError> {
+        while trig.dormant(cluster.active_count()) {
+            let budget = deadline.saturating_sub(cluster.now());
+            if cluster.skip_quiescent(budget) == 0 {
+                break;
+            }
+            trig.note_skipped(cluster.active_count());
+            if cluster.now() - armed_at >= self.cfg.timeout_cycles {
+                return Some(AcquireError::TriggerTimeout {
+                    waited: cluster.now() - armed_at,
+                });
+            }
+        }
+        None
+    }
+
     /// Arm against `cluster`, wait for the trigger, fill the buffer.
     /// The cluster advances by however many cycles the wait plus the
     /// capture take (hardware monitoring is non-intrusive: the machine
@@ -171,7 +225,12 @@ impl DasMonitor {
         let n_ces = cluster.config().n_ces;
         let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
         let armed_at = cluster.now();
-        loop {
+        let deadline = armed_at.saturating_add(self.cfg.timeout_cycles);
+        cluster.set_next_probe_at(Some(deadline));
+        let result = loop {
+            if let Some(err) = self.skip_dormant_wait(cluster, &mut trig, armed_at, deadline) {
+                break Err(err);
+            }
             #[cfg(feature = "audit")]
             let truth0 = ground_truth(cluster);
             let w = cluster.step();
@@ -187,17 +246,19 @@ impl DasMonitor {
                     let counts = EventCounts::reduce(&records, n_ces);
                     self.cross_check(cluster, &counts, (0, 0, 0), truth0);
                 }
-                return Ok(Acquisition {
+                break Ok(Acquisition {
                     records,
                     triggered_at,
                 });
             }
             if cluster.now() - armed_at >= self.cfg.timeout_cycles {
-                return Err(AcquireError::TriggerTimeout {
+                break Err(AcquireError::TriggerTimeout {
                     waited: cluster.now() - armed_at,
                 });
             }
-        }
+        };
+        cluster.set_next_probe_at(None);
+        result
     }
 
     /// Like [`DasMonitor::acquire`], but reduce the buffer on the fly:
@@ -233,7 +294,12 @@ impl DasMonitor {
         );
         let mut trig = TriggerState::new(self.cfg.trigger, n_ces);
         let armed_at = cluster.now();
-        loop {
+        let deadline = armed_at.saturating_add(self.cfg.timeout_cycles);
+        cluster.set_next_probe_at(Some(deadline));
+        let result = loop {
+            if let Some(err) = self.skip_dormant_wait(cluster, &mut trig, armed_at, deadline) {
+                break Err(err);
+            }
             #[cfg(feature = "audit")]
             let truth0 = ground_truth(cluster);
             #[cfg(feature = "audit")]
@@ -251,14 +317,16 @@ impl DasMonitor {
                 }
                 #[cfg(feature = "audit")]
                 self.cross_check(cluster, counts, before, truth0);
-                return Ok(triggered_at);
+                break Ok(triggered_at);
             }
             if cluster.now() - armed_at >= self.cfg.timeout_cycles {
-                return Err(AcquireError::TriggerTimeout {
+                break Err(AcquireError::TriggerTimeout {
                     waited: cluster.now() - armed_at,
                 });
             }
-        }
+        };
+        cluster.set_next_probe_at(None);
+        result
     }
 }
 
@@ -422,6 +490,91 @@ mod tests {
         let before = counts.clone();
         assert!(strict.acquire_reduced_into(&mut c, &mut counts).is_err());
         assert_eq!(counts, before);
+    }
+
+    #[test]
+    fn zero_buffer_depth_is_rejected_by_validate_and_floored_by_new() {
+        let cfg = DasConfig {
+            buffer_depth: 0,
+            trigger: Trigger::Immediate,
+            timeout_cycles: 100,
+        };
+        assert!(cfg.validate().is_err());
+        assert!(DasConfig::das9100(Trigger::Immediate).validate().is_ok());
+        let das = DasMonitor::new(cfg);
+        assert_eq!(
+            das.config().buffer_depth,
+            1,
+            "floored: the trigger record is always captured"
+        );
+        let mut c = cluster();
+        let acq = das.acquire(&mut c).unwrap();
+        assert_eq!(acq.records.len(), 1);
+    }
+
+    /// The horizon-aware wait must be invisible: acquisitions (records,
+    /// trigger cycle) and the full machine trajectory agree bit-for-bit
+    /// with the per-cycle wait, for every trigger kind.
+    #[test]
+    fn fast_forward_wait_matches_per_cycle_wait() {
+        for trigger in [
+            Trigger::Immediate,
+            Trigger::AllCesActive,
+            Trigger::TransitionFromFull,
+        ] {
+            let run = |ff: bool| {
+                let mut m = MachineConfig::fx8();
+                m.fast_forward = ff;
+                let mut c = Cluster::new(m, 11);
+                c.set_ip_intensity(0.015);
+                c.mount_loop(loop_body(), 0, 2_000, serial_code(), 1);
+                let das = DasMonitor::new(DasConfig {
+                    buffer_depth: 64,
+                    trigger,
+                    timeout_cycles: 50_000,
+                });
+                let res = das.acquire(&mut c);
+                (res, c.now(), c.state_digest())
+            };
+            let (ra, na, da) = run(true);
+            let (rb, nb, db) = run(false);
+            assert_eq!(ra, rb, "{trigger:?}: acquisition differs");
+            assert_eq!(na, nb, "{trigger:?}: clocks differ");
+            assert_eq!(da, db, "{trigger:?}: machine state differs");
+        }
+    }
+
+    /// A timeout reached by skipping stops at exactly the cycle the
+    /// per-cycle loop reports, with the same error payload — and the
+    /// next-probe hint is cleared so later skips are uncapped.
+    #[test]
+    fn fast_forward_timeout_matches_per_cycle_timeout() {
+        let run = |ff: bool| {
+            let mut m = MachineConfig::fx8();
+            m.fast_forward = ff;
+            let mut c = Cluster::new(m, 11);
+            c.set_ip_intensity(0.0);
+            let das = DasMonitor::new(DasConfig {
+                buffer_depth: 512,
+                trigger: Trigger::AllCesActive,
+                timeout_cycles: 7_331,
+            });
+            let err = das.acquire(&mut c).unwrap_err();
+            (err, c.now(), c)
+        };
+        let (ea, na, mut ca) = run(true);
+        let (eb, nb, _) = run(false);
+        assert_eq!(ea, eb);
+        assert_eq!(na, nb);
+        assert!(matches!(ea, AcquireError::TriggerTimeout { waited: 7_331 }));
+        if !cfg!(feature = "audit") {
+            let (skipped, _) = ca.skip_counters();
+            assert!(skipped > 0, "the idle wait should fast-forward");
+            assert!(
+                ca.skip_quiescent(100) > 0,
+                "stale next-probe hint left behind by the acquisition"
+            );
+        }
     }
 
     #[test]

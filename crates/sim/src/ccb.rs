@@ -212,6 +212,36 @@ impl Ccb {
         self.stats.sync_wait_cycles += 1;
     }
 
+    /// Bulk form of [`Ccb::note_sync_wait`]: the fast-forward path charges
+    /// a whole skipped window of blocked cycles at once.
+    pub(crate) fn note_sync_waits(&mut self, cycles: u64) {
+        self.stats.sync_wait_cycles += cycles;
+    }
+
+    /// Bulk grant-channel wait accounting for the fast-forward path: while
+    /// the channel is busy, [`Ccb::arbitrate_into`] charges one
+    /// `grant_wait_cycles` per requester per cycle and mutates nothing
+    /// else, so a skipped window of `cycles` with `requesters` CEs in
+    /// `AwaitIter` owes exactly `cycles * requesters`.
+    pub(crate) fn note_grant_waits(&mut self, cycles: u64) {
+        self.stats.grant_wait_cycles += cycles;
+    }
+
+    /// Event horizon of the grant channel for CEs waiting in `AwaitIter`:
+    /// `Some(c)` means nothing can be granted before cycle `c` (the channel
+    /// is busy and only time frees it), so every cycle until then is a pure
+    /// `Wait` with stat-only effects. `None` means arbitration resolves
+    /// *this* cycle — a grant lands, or the requesters learn `Exhausted`
+    /// (both the no-loop and the handed-out-everything cases bypass the
+    /// channel-busy check in [`Ccb::arbitrate_into`]) — and the stepper
+    /// must run it.
+    pub(crate) fn grant_horizon(&self, now: Cycle) -> Option<Cycle> {
+        match self.state {
+            Some(s) if s.next < s.total && self.channel_free > now => Some(self.channel_free),
+            _ => None,
+        }
+    }
+
     /// Apply a `PostSync` advance.
     pub fn post_sync(&mut self, value: u64) {
         self.sync_value = self.sync_value.max(value);
@@ -336,6 +366,26 @@ mod tests {
         let g = ccb.arbitrate(0, &[true, true]);
         assert!(g.iter().all(|x| *x == IterGrant::Exhausted));
         assert!(ccb.all_complete());
+    }
+
+    #[test]
+    fn grant_horizon_tracks_channel_occupancy() {
+        let mut ccb = Ccb::new(2, Arbitration::FixedLowFirst, 4);
+        // No loop mounted: requests resolve immediately (Exhausted).
+        assert_eq!(ccb.grant_horizon(0), None);
+        ccb.start_loop(0, 2);
+        // Channel free: a grant would land this cycle.
+        assert_eq!(ccb.grant_horizon(0), None);
+        ccb.arbitrate(0, &[true, false]);
+        // Channel busy until cycle 4: nothing can change before then.
+        assert_eq!(ccb.grant_horizon(1), Some(4));
+        assert_eq!(ccb.grant_horizon(3), Some(4));
+        assert_eq!(ccb.grant_horizon(4), None);
+        // Last iteration handed out: Exhausted resolves immediately even
+        // while the channel is still cooling down.
+        ccb.arbitrate(4, &[true, false]);
+        assert_eq!(ccb.remaining(), 0);
+        assert_eq!(ccb.grant_horizon(5), None);
     }
 
     #[test]

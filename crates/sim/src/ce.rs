@@ -195,6 +195,56 @@ impl Ce {
             self.pending_ifetch = None;
         }
     }
+
+    /// How many steps of the current compute burst are guaranteed to be
+    /// pure retirement — no icache probe, no shared-cache traffic, no state
+    /// change beyond the fetch cursor and the instruction counter — so the
+    /// fast-forward engine may take them in one bulk pass.
+    ///
+    /// Conservative by construction: it only counts steps where
+    /// [`Self::ifetch_step`] would early-return on the `last_fetch_line`
+    /// check, i.e. consecutive fetches within the line already probed. The
+    /// count is capped at the line boundary (the next line crossing must
+    /// probe the icache, mutating hit/miss stats), at the footprint wrap
+    /// (so the bulk cursor update `(c + k*b) % F` matches the iterated
+    /// per-step modulo exactly), and at the remaining burst length. Returns
+    /// 0 whenever the next per-cycle step could do anything else.
+    pub(crate) fn compute_burst_horizon(&self) -> u64 {
+        if self.compute_left == 0 || self.pending_ifetch.is_some() {
+            return 0;
+        }
+        let Some(code) = self.code else {
+            // No code region: ifetch_step is a no-op, every step is pure
+            // retirement.
+            return self.compute_left as u64;
+        };
+        let line_bytes = self.icache.line_bytes();
+        let addr = code.base.wrapping_add(self.fetch_cursor);
+        if self.last_fetch_line != Some(addr.line(line_bytes)) {
+            // The next step crosses into an unprobed line: it must consult
+            // the icache (and may miss out to the shared cache).
+            return 0;
+        }
+        // Steps that stay within the already-probed line and short of the
+        // footprint wrap, so the bulk cursor update `(c + k*b) % F` matches
+        // the iterated per-step modulo exactly; 0 for degenerate geometry.
+        let steps = code.fetch_steps_in_line(self.fetch_cursor, line_bytes);
+        (self.compute_left as u64).min(steps)
+    }
+
+    /// Bulk-apply `k` compute-burst steps previously authorized by
+    /// [`Self::compute_burst_horizon`]: advance the fetch cursor, retire
+    /// `k` instructions, and shrink the burst — bit-identical to `k`
+    /// iterations of the per-cycle dispatch path.
+    pub(crate) fn advance_compute_burst(&mut self, k: u64) {
+        debug_assert!(k <= self.compute_left as u64);
+        if let Some(code) = self.code {
+            let footprint = code.footprint_bytes.max(1);
+            self.fetch_cursor = (self.fetch_cursor + k * code.bytes_per_instr) % footprint;
+        }
+        self.compute_left -= k as u32;
+        self.stats.instrs += k;
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +321,82 @@ mod tests {
             !ce.is_ccb_active(),
             "detached processes are not concurrent-active"
         );
+    }
+
+    /// Drive a compute burst to completion, either per-step (mirroring the
+    /// cluster's dispatch path, with instant ifetch fills) or letting the
+    /// burst horizon bulk-advance whenever it authorizes a skip. Returns
+    /// the CE and the number of simulated cycles consumed.
+    fn drain_burst(mut ce: Ce, bulk: bool) -> (Ce, u64) {
+        let mut cycles = 0u64;
+        while ce.compute_left > 0 {
+            let k = if bulk { ce.compute_burst_horizon() } else { 0 };
+            if k > 0 {
+                ce.advance_compute_burst(k);
+                cycles += k;
+            } else if let Some(line) = ce.ifetch_step() {
+                ce.ifetch_fill(line); // cluster would stall here; fill instantly
+                cycles += 1;
+            } else {
+                ce.compute_left -= 1;
+                ce.stats.instrs += 1;
+                cycles += 1;
+            }
+        }
+        (ce, cycles)
+    }
+
+    #[test]
+    fn compute_burst_bulk_matches_per_step() {
+        // Awkward geometry on purpose: 6-byte instructions against 32-byte
+        // lines and a footprint that is not a multiple of either, so the
+        // wrap cap and the line cap both bite at odd offsets.
+        let code = CodeRegion {
+            base: VAddr::new(1, 0),
+            footprint_bytes: 200,
+            bytes_per_instr: 6,
+        };
+        let build = || {
+            let mut ce = Ce::new(0, 1024, 32);
+            ce.set_code(code);
+            ce.compute_left = 500;
+            ce
+        };
+        let (a, ca) = drain_burst(build(), true);
+        let (b, cb) = drain_burst(build(), false);
+        assert_eq!(a.fetch_cursor, b.fetch_cursor);
+        assert_eq!(a.last_fetch_line, b.last_fetch_line);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(ca, cb, "bulk skipping must not change the cycle count");
+        assert!(ca > 0);
+    }
+
+    #[test]
+    fn compute_burst_horizon_edge_cases() {
+        let mut ce = Ce::new(0, 1024, 32);
+        assert_eq!(ce.compute_burst_horizon(), 0, "no burst pending");
+        ce.compute_left = 7;
+        assert_eq!(
+            ce.compute_burst_horizon(),
+            7,
+            "no code region: every step is pure retirement"
+        );
+        ce.set_code(region(256));
+        ce.compute_left = 7;
+        assert_eq!(
+            ce.compute_burst_horizon(),
+            0,
+            "first fetch must probe the icache"
+        );
+        if let Some(line) = ce.ifetch_step() {
+            ce.ifetch_fill(line);
+        }
+        ce.compute_left -= 1;
+        // Cursor is now at byte 4 of a probed 32-byte line: 7 fetches left
+        // in-line but only 6 instructions left in the burst.
+        assert_eq!(ce.compute_burst_horizon(), 6);
+        ce.pending_ifetch = Some(LineId(99));
+        assert_eq!(ce.compute_burst_horizon(), 0, "pending ifetch blocks");
     }
 
     #[test]

@@ -88,6 +88,39 @@ enum ResumeAction {
     FinishOp,
 }
 
+/// Everything a quiescent window's bulk application needs, computed by
+/// [`Cluster::skippable`] in its single pass over the CEs so
+/// [`Cluster::advance_bulk`] never rescans them. `k == 0` means the next
+/// cycle must be stepped normally (the other fields are then meaningless).
+#[derive(Debug, Clone, Copy)]
+struct SkipPlan {
+    /// Window length in cycles (0 = not skippable).
+    k: u64,
+    /// Bit per CE frozen retrying a crossbar request against a busy bank.
+    retry_mask: u64,
+    /// Bit per CE retiring a compute burst inside its probed icache line.
+    burst_mask: u64,
+    /// Bit per CCB-active CE (accrues `active_cycles`).
+    active_mask: u64,
+    /// CEs blocked in `AwaitSync` (accrue CCB sync-wait cycles).
+    sync_waiters: u64,
+    /// CEs blocked in `AwaitIter` (accrue CCB grant-wait cycles).
+    iter_requesters: u64,
+}
+
+impl SkipPlan {
+    fn empty() -> Self {
+        SkipPlan {
+            k: 0,
+            retry_mask: 0,
+            burst_mask: 0,
+            active_mask: 0,
+            sync_waiters: 0,
+            iter_requesters: 0,
+        }
+    }
+}
+
 /// The machine.
 pub struct Cluster {
     cfg: MachineConfig,
@@ -112,6 +145,18 @@ pub struct Cluster {
     refill_buf: Vec<Op>,
     /// Scratch op buffer for loop-iteration generation, likewise reused.
     iter_buf: Vec<Op>,
+    /// Earliest future cycle an armed analyzer needs to observe; the
+    /// fast-forward engine never skips up to or past it, so a monitor can
+    /// thread its probe/timeout deadline through [`Cluster::set_next_probe_at`]
+    /// and still see every cycle it cares about stepped individually.
+    next_probe_at: Option<Cycle>,
+    /// Cycles advanced by the fast-forward engine (a subset of
+    /// `cycles_total`). Intentionally absent from [`Cluster::state_digest`]:
+    /// the skip ratio is the one piece of state that differs by design
+    /// between the fast-forward and per-cycle trajectories.
+    cycles_skipped: u64,
+    /// Total cycles advanced, stepped or skipped.
+    cycles_total: u64,
     /// Per-cycle invariant checker (compiled in under the `audit` feature).
     #[cfg(feature = "audit")]
     auditor: crate::audit::Auditor,
@@ -148,6 +193,9 @@ impl Cluster {
             fault_seq: 0,
             refill_buf: Vec::new(),
             iter_buf: Vec::new(),
+            next_probe_at: None,
+            cycles_skipped: 0,
+            cycles_total: 0,
             #[cfg(feature = "audit")]
             auditor: crate::audit::Auditor::default(),
         }
@@ -335,10 +383,18 @@ impl Cluster {
     /// Run `n` cycles, discarding the probe words. Takes the quiet fast
     /// path: the machine advances bit-identically to [`Cluster::step`],
     /// but the memory-bus probe decode is skipped since no analyzer is
-    /// armed to read it.
+    /// armed to read it. Quiescent stretches are fast-forwarded through
+    /// [`Cluster::skip_quiescent`] — the cheapest possible skip case,
+    /// since nothing is observing the intermediate probe words.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.step_cycle(false);
+        let end = self.now + n;
+        while self.now < end {
+            let plan = self.skippable(end - self.now);
+            if plan.k > 0 {
+                self.advance_bulk(plan);
+            } else {
+                self.step_cycle(false);
+            }
         }
     }
 
@@ -423,6 +479,289 @@ impl Cluster {
     /// Advance one bus cycle; returns the record the probes capture.
     pub fn step(&mut self) -> ProbeWord {
         self.step_cycle(true)
+    }
+
+    /// Tell the fast-forward engine the earliest future cycle an armed
+    /// analyzer must observe. [`Cluster::skip_quiescent`] will stop short
+    /// of it so the monitor steps that cycle itself; pass `None` to lift
+    /// the cap.
+    pub fn set_next_probe_at(&mut self, at: Option<Cycle>) {
+        self.next_probe_at = at;
+    }
+
+    /// `(cycles_skipped, cycles_total)` advanced so far: the fast-forward
+    /// skip ratio. This is bookkeeping about *how* the machine was
+    /// advanced, not machine state — it is excluded from
+    /// [`Cluster::state_digest`] on purpose.
+    pub fn skip_counters(&self) -> (u64, u64) {
+        (self.cycles_skipped, self.cycles_total)
+    }
+
+    /// Number of CEs currently concurrency-active: the population count the
+    /// next probe word's `active_mask` would report. Armed monitors use
+    /// this to decide whether their trigger is dormant (and the machine can
+    /// fast-forward) without stepping a cycle.
+    pub fn active_count(&self) -> u32 {
+        self.ces.iter().filter(|ce| ce.is_ccb_active()).count() as u32
+    }
+
+    /// If CE `id` would issue a crossbar request this cycle whose *denial*
+    /// has no architectural effect beyond the denial counters and the CE's
+    /// bus-busy cycle, return the requested line. That covers a pending
+    /// instruction fetch and a Load/Store whose ifetch and paging check
+    /// already happened (`op_fetched && vm_checked`): re-dispatching such
+    /// an op recomputes the same line from the same operand every cycle
+    /// until granted. Anything else (first dispatch, paging touch, burst)
+    /// either mutates state on dispatch or makes no request at all.
+    fn pure_retry_line(&self, id: CeId) -> Option<crate::addr::LineId> {
+        let ce = &self.ces[id];
+        if ce.state != CeState::Ready {
+            return None;
+        }
+        if let Some(line) = ce.pending_ifetch {
+            return Some(line);
+        }
+        if ce.compute_left > 0 {
+            return None; // burst path: no crossbar request while in-line
+        }
+        match ce.cur_op {
+            Some(Op::Load(a)) | Some(Op::Store(a))
+                if self.op_fetched[id] && self.vm_checked[id] =>
+            {
+                Some(a.line(self.cfg.cache.line_bytes))
+            }
+            _ => None,
+        }
+    }
+
+    /// Fast-forward through quiescent cycles: if the machine is provably
+    /// inert for `k` cycles (`1 <= k <= limit`), advance it `k` cycles in
+    /// one bulk pass — bit-identical to `k` calls of [`Cluster::step`] with
+    /// the probe words discarded — and return `k`. Returns 0 when the very
+    /// next cycle could change observable state (or fast-forward is
+    /// disabled), in which case the caller must step normally.
+    pub fn skip_quiescent(&mut self, limit: u64) -> u64 {
+        let plan = self.skippable(limit);
+        if plan.k > 0 {
+            self.advance_bulk(plan);
+        }
+        plan.k
+    }
+
+    /// Conservative event horizon: how many cycles (at most `limit`) can be
+    /// bulk-advanced because no component can change architecturally
+    /// observable state before then. Every term is a *lower bound proof*:
+    ///
+    /// - a stalled CE cannot act before its `until` stamp;
+    /// - an `AwaitSync`/`AwaitJoin` CE cannot unblock unless some Ready CE
+    ///   posts/completes — and any CE that could is itself a 0 term;
+    /// - `AwaitIter` CEs are frozen exactly while the CCB grant channel is
+    ///   busy ([`Ccb::grant_horizon`]);
+    /// - a Ready CE mid-compute-burst is inert for as long as its fetches
+    ///   stay inside the already-probed icache line
+    ///   ([`Ce::compute_burst_horizon`]);
+    /// - a Ready CE retrying a request against a busy cache bank cannot be
+    ///   granted before [`Crossbar::bank_free_at`], and its denials mutate
+    ///   nothing but the denial counters ([`Cluster::pure_retry_line`]);
+    /// - any other Ready CE forces 0.
+    ///
+    /// Stamp-based components contribute no terms: the membus and crossbar
+    /// only mutate when a request reaches them (which forces 0 above), and
+    /// the caches are purely reactive. The IP subsystem and the membus
+    /// start-ring do act every cycle, but deterministically and without
+    /// reading CE state — [`Cluster::advance_bulk`] replays them per cycle.
+    ///
+    /// Returns 0 unconditionally when `fast_forward` is off and under the
+    /// `audit` feature, which keeps the per-cycle auditor an independent
+    /// oracle rather than a check of the skip logic by itself.
+    /// Returns the horizon as described above, plus everything
+    /// [`Cluster::advance_bulk`] needs to apply the window without
+    /// rescanning the CEs (windows are often a handful of cycles, so a
+    /// second scan is a real share of the skip cost).
+    fn skippable(&self, limit: u64) -> SkipPlan {
+        if cfg!(feature = "audit") || !self.cfg.fast_forward || limit == 0 {
+            return SkipPlan::empty();
+        }
+        let now = self.now;
+        let mut end = now.saturating_add(limit);
+        if let Some(probe) = self.next_probe_at {
+            if probe <= now {
+                return SkipPlan::empty();
+            }
+            end = end.min(probe);
+        }
+        let mut plan = SkipPlan::empty();
+        let mut await_iter = false;
+        for (id, ce) in self.ces.iter().enumerate() {
+            match ce.state {
+                CeState::Stalled { until, .. } | CeState::FaultStalled { until } => {
+                    if until <= now {
+                        return SkipPlan::empty(); // resume handshake runs this cycle
+                    }
+                    end = end.min(until);
+                }
+                CeState::AwaitSync { target } => {
+                    if self.ccb.sync_reached(target) {
+                        return SkipPlan::empty(); // unblocks this cycle
+                    }
+                    // Blocked: only a Ready CE's PostSync can move the sync
+                    // register, and that CE forces 0 below.
+                    plan.sync_waiters += 1;
+                }
+                CeState::AwaitIter => await_iter = true,
+                CeState::AwaitJoin => {
+                    if self.ccb.all_complete() {
+                        return SkipPlan::empty(); // serial successor promotes this cycle
+                    }
+                    // Completions come from Ready workers, which force 0.
+                }
+                CeState::Ready => {
+                    if let Some(line) = self.pure_retry_line(id) {
+                        // A crossbar request whose denial changes nothing
+                        // but the denial counters: the requester is frozen
+                        // until its target bank frees up, at which point
+                        // the grant cycle must be stepped normally.
+                        let free = self.crossbar.bank_free_at(self.caches.bank_of(line));
+                        if free <= now {
+                            return SkipPlan::empty(); // the bank can grant this cycle
+                        }
+                        end = end.min(free);
+                        plan.retry_mask |= 1 << id;
+                    } else {
+                        // pending_ifetch is always a pure retry, so from
+                        // here on the CE makes no crossbar request.
+                        if ce.compute_left > 0 {
+                            let burst = ce.compute_burst_horizon();
+                            if burst == 0 {
+                                return SkipPlan::empty(); // next fetch probes the icache
+                            }
+                            end = end.min(now + burst);
+                            plan.burst_mask |= 1 << id;
+                        } else if ce.cur_op.is_some() || !ce.ops.is_empty() {
+                            return SkipPlan::empty(); // dispatches an op this cycle
+                        } else if ce.role != CeRole::Inactive {
+                            // Worker: completes its iteration this cycle.
+                            // Serial/detached: refills from its stream
+                            // (which mutates generator state) this cycle.
+                            return SkipPlan::empty();
+                        }
+                    }
+                }
+            }
+            if ce.is_ccb_active() {
+                plan.active_mask |= 1 << id;
+            }
+        }
+        if await_iter {
+            match self.ccb.grant_horizon(now) {
+                None => return SkipPlan::empty(), // a grant or Exhausted lands this cycle
+                Some(free) => end = end.min(free),
+            }
+            plan.iter_requesters = self
+                .ces
+                .iter()
+                .filter(|ce| ce.state == CeState::AwaitIter)
+                .count() as u64;
+        }
+        plan.k = end.saturating_sub(now);
+        plan
+    }
+
+    /// Bulk-advance `k` cycles previously authorized by
+    /// [`Cluster::skippable`]. Applies exactly the state changes `k` calls
+    /// to [`Cluster::step_cycle`] would have made on a quiescent machine:
+    ///
+    /// - the IP subsystem steps every cycle (its RNG consumes one draw per
+    ///   cycle regardless of intensity, so it must be replayed, not
+    ///   jumped);
+    /// - the membus start-ring gc runs once at the window end: gc is a
+    ///   monotone threshold-pop and `schedule`'s insertion search never
+    ///   lands on stale entries, so deferring it is invisible (see the
+    ///   `deferred_gc_matches_per_cycle_gc` membus test);
+    /// - blocked `AwaitSync` CEs and `AwaitIter` requesters accrue their
+    ///   per-cycle wait statistics in closed form;
+    /// - Ready CEs mid-burst retire `k` instructions in one pass;
+    /// - Ready CEs retrying against a busy bank (flagged in the plan's
+    ///   `retry_mask`, as computed by [`Cluster::skippable`] for this same
+    ///   window) accrue `k` crossbar denials and `k` bus-busy cycles, the
+    ///   only effects of a denial;
+    /// - CCB-active CEs accrue `k` active cycles (roles cannot change
+    ///   inside a quiescent window).
+    ///
+    /// Everything else is provably untouched per the horizon argument.
+    fn advance_bulk(&mut self, plan: SkipPlan) {
+        let k = plan.k;
+        debug_assert!(k > 0);
+        self.ip
+            .replay(self.now, k, &mut self.caches, &mut self.membus);
+        self.membus.gc(self.now + k - 1);
+        if plan.sync_waiters > 0 {
+            self.ccb.note_sync_waits(k * plan.sync_waiters);
+        }
+        if plan.iter_requesters > 0 {
+            self.ccb.note_grant_waits(k * plan.iter_requesters);
+        }
+        let mut retry = plan.retry_mask;
+        while retry != 0 {
+            let id = retry.trailing_zeros() as usize;
+            retry &= retry - 1;
+            // The denied request occupies the CE bus every cycle.
+            self.ces[id].stats.bus_busy_cycles += k;
+            self.crossbar.note_denied_retries(id, k);
+        }
+        let mut burst = plan.burst_mask;
+        while burst != 0 {
+            let id = burst.trailing_zeros() as usize;
+            burst &= burst - 1;
+            self.ces[id].advance_compute_burst(k);
+        }
+        let mut active = plan.active_mask;
+        while active != 0 {
+            let id = active.trailing_zeros() as usize;
+            active &= active - 1;
+            self.ces[id].stats.active_cycles += k;
+        }
+        self.now += k;
+        self.cycles_total += k;
+        self.cycles_skipped += k;
+    }
+
+    /// Render every architecturally observable piece of machine state into
+    /// a deterministic string, so differential tests can assert that
+    /// fast-forward on/off trajectories are bit-identical. Excludes the
+    /// skip counters (they differ by design); the IP issue count stands in
+    /// for the RNG stream position (equal draws => equal position).
+    pub fn state_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "now={} load={:?} asid={} fault_seq={} faults={:?} ip_issued={}",
+            self.now,
+            self.load_kind(),
+            self.current_asid(),
+            self.fault_seq,
+            self.vm.total_faults(),
+            self.ip.issued(),
+        );
+        for (i, ce) in self.ces.iter().enumerate() {
+            let _ = write!(
+                s,
+                "\nce{}={:?} resume={:?} vm_checked={} op_fetched={}",
+                i, ce, self.resume_actions[i], self.vm_checked[i], self.op_fetched[i],
+            );
+        }
+        let _ = write!(
+            s,
+            "\nccb: progress={:?} sync={} stats={:?}",
+            self.ccb.progress(),
+            self.ccb.sync_value(),
+            self.ccb.stats(),
+        );
+        let _ = write!(s, "\ncrossbar={:?}", self.crossbar.stats());
+        let _ = write!(s, "\nmembus={:?}", self.membus.stats());
+        let _ = write!(s, "\ncaches={:?}", self.caches.stats());
+        s
     }
 
     /// One bus cycle. `probed` selects whether the memory-bus probe is
@@ -667,14 +1006,19 @@ impl Cluster {
             }
         }
 
-        // --- Crossbar arbitration and cache access.
+        // --- Crossbar arbitration and cache access. With no requester the
+        // arbiter is a no-op (no grants, denials, rotor or busy-window
+        // changes), so skip its banks×CEs scan entirely.
         let mut granted = [false; MAX_CES];
-        self.crossbar.arbitrate_into(
-            now,
-            &req_bank[..n],
-            self.cfg.cache_hit_cycles,
-            &mut granted[..n],
-        );
+        let any_request = req_bank[..n].iter().any(|r| r.is_some());
+        if any_request {
+            self.crossbar.arbitrate_into(
+                now,
+                &req_bank[..n],
+                self.cfg.cache_hit_cycles,
+                &mut granted[..n],
+            );
+        }
         for id in 0..n {
             let Some((line, kind)) = req_info[id] else {
                 continue;
@@ -751,6 +1095,7 @@ impl Cluster {
         }
 
         self.now += 1;
+        self.cycles_total += 1;
         word
     }
 }
@@ -1025,6 +1370,135 @@ mod tests {
         c.advance_clock(5);
     }
 
+    fn ff_off_config() -> MachineConfig {
+        let mut cfg = MachineConfig::fx8();
+        cfg.fast_forward = false;
+        cfg
+    }
+
+    /// Drive a workload with fast-forward on and off and assert the
+    /// trajectories are bit-identical: same digest of all observable state
+    /// and same probe words captured afterwards. Returns the cycles the
+    /// fast-forward run actually skipped.
+    fn assert_ff_identical(mount: impl Fn(&mut Cluster), run_cycles: u64) -> u64 {
+        let drive = |cfg: MachineConfig| {
+            let mut c = Cluster::new(cfg, 42);
+            c.set_ip_intensity(0.12);
+            mount(&mut c);
+            c.run(run_cycles);
+            let words = c.capture(200);
+            let skipped = c.skip_counters().0;
+            (c.state_digest(), words, skipped)
+        };
+        let (d_on, w_on, sk_on) = drive(MachineConfig::fx8());
+        let (d_off, w_off, sk_off) = drive(ff_off_config());
+        assert_eq!(sk_off, 0, "knob off must never skip");
+        assert_eq!(d_on, d_off, "fast-forward diverged the machine state");
+        assert_eq!(w_on, w_off, "fast-forward diverged the probe stream");
+        sk_on
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn fast_forward_bit_identical_on_idle() {
+        let skipped = assert_ff_identical(|_| {}, 20_000);
+        assert!(skipped > 15_000, "idle machine barely skipped: {skipped}");
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn fast_forward_bit_identical_on_serial() {
+        let skipped = assert_ff_identical(|c| c.mount_serial(serial_code(1), 1, None), 30_000);
+        assert!(skipped > 5_000, "serial kernel barely skipped: {skipped}");
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn fast_forward_bit_identical_on_loop() {
+        let skipped = assert_ff_identical(
+            |c| c.mount_loop(loop_body(1), 0, 5_000, serial_code(1), 1),
+            60_000,
+        );
+        assert!(skipped > 5_000, "loop kernel barely skipped: {skipped}");
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn fast_forward_bit_identical_with_detached_and_drain() {
+        let skipped = assert_ff_identical(
+            |c| {
+                c.mount_detached(5, serial_code(9), 9);
+                c.mount_loop(loop_body(1), 0, 60, serial_code(1), 1);
+            },
+            40_000,
+        );
+        assert!(skipped > 0);
+    }
+
+    /// Exercise the crossbar-retry horizon: with a slow cache service time
+    /// every grant parks its bank for 9 cycles, so denied CEs spin in
+    /// pure-retry windows that the fast-forward engine must skip — and
+    /// account (denials, bus-busy cycles) — bit-identically.
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn fast_forward_bit_identical_under_bank_contention() {
+        let slow = |ff: bool| {
+            let mut cfg = MachineConfig::fx8();
+            cfg.cache_hit_cycles = 9;
+            cfg.fast_forward = ff;
+            cfg
+        };
+        let drive = |cfg: MachineConfig| {
+            let mut c = Cluster::new(cfg, 42);
+            c.set_ip_intensity(0.12);
+            c.mount_loop(loop_body(1), 0, 5_000, serial_code(1), 1);
+            c.run(60_000);
+            let words = c.capture(200);
+            let skipped = c.skip_counters().0;
+            (c.state_digest(), words, skipped)
+        };
+        let (d_on, w_on, sk_on) = drive(slow(true));
+        let (d_off, w_off, sk_off) = drive(slow(false));
+        assert_eq!(sk_off, 0);
+        assert_eq!(d_on, d_off, "retry skipping diverged the machine state");
+        assert_eq!(w_on, w_off, "retry skipping diverged the probe stream");
+        assert!(sk_on > 5_000, "contended loop barely skipped: {sk_on}");
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[test]
+    fn next_probe_at_caps_skipping() {
+        let mut c = cluster();
+        c.set_next_probe_at(Some(10));
+        assert_eq!(c.skip_quiescent(1_000), 10, "skip stops at the probe");
+        assert_eq!(c.now(), 10);
+        assert_eq!(
+            c.skip_quiescent(1_000),
+            0,
+            "the probe cycle itself must be stepped, not skipped"
+        );
+        c.set_next_probe_at(None);
+        assert_eq!(c.skip_quiescent(1_000), 1_000, "cap lifted");
+    }
+
+    #[test]
+    fn fast_forward_knob_off_disables_skipping() {
+        let mut c = Cluster::new(ff_off_config(), 42);
+        c.set_ip_intensity(0.0);
+        c.run(1_000);
+        assert_eq!(c.skip_counters(), (0, 1_000));
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_builds_never_skip() {
+        // The auditor must stay an independent per-cycle oracle: even with
+        // the knob on (the default), audit builds step every cycle.
+        let mut c = cluster();
+        c.run(1_000);
+        assert_eq!(c.skip_counters(), (0, 1_000));
+    }
+
     #[test]
     fn tiny_machine_also_runs_loops() {
         let mut c = Cluster::new(MachineConfig::tiny(), 1);
@@ -1039,5 +1513,68 @@ mod tests {
         assert_eq!(c.load_kind(), LoadKind::Drained);
         let done: u64 = (0..2).map(|i| c.ce_stats(i).iters_completed).sum();
         assert_eq!(done, 30);
+    }
+}
+
+#[cfg(test)]
+mod ff_profile {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    #[ignore]
+    fn classify_serial_stepped_cycles() {
+        let mut c = Cluster::new(MachineConfig::fx8(), 2);
+        c.set_ip_intensity(0.015);
+        // Approximates the bench's scalar-serial kernel: ~5 compute per
+        // memory ref over a 64 KB hot set and a 48 KB code footprint.
+        c.mount_serial(
+            Box::new(crate::stream::StridedSerial::new(
+                crate::stream::CodeRegion {
+                    base: crate::addr::VAddr::new(1, 0),
+                    footprint_bytes: 48 * 1024,
+                    bytes_per_instr: 4,
+                },
+                crate::addr::VAddr::new(1, 0x10_0000),
+                96,
+                64 * 1024,
+                5,
+            )),
+            1,
+            None,
+        );
+        c.run(5_000);
+        let mut stepped = 0u64;
+        let mut skipped = 0u64;
+        let mut windows = std::collections::BTreeMap::new();
+        let mut classes = std::collections::BTreeMap::new();
+        let end = c.now + 500_000;
+        while c.now < end {
+            let plan = c.skippable(end - c.now);
+            if plan.k > 0 {
+                let k = plan.k;
+                skipped += k;
+                *windows.entry(k.min(16)).or_insert(0u64) += 1;
+                c.advance_bulk(plan);
+            } else {
+                stepped += 1;
+                let ce = &c.ces[0];
+                let class = match ce.state {
+                    CeState::Stalled { until, .. } if until <= c.now => "resume",
+                    CeState::Stalled { .. } => "stall-other",
+                    CeState::Ready if ce.pending_ifetch.is_some() => "ifetch-retry",
+                    CeState::Ready if ce.compute_left > 0 => "burst-boundary",
+                    CeState::Ready if ce.cur_op.is_some() => "cur-op",
+                    CeState::Ready if !ce.ops.is_empty() => "dispatch",
+                    CeState::Ready => "refill",
+                    _ => "other",
+                };
+                *classes.entry(class).or_insert(0u64) += 1;
+                c.step_cycle(false);
+            }
+        }
+        eprintln!("stepped={stepped} skipped={skipped}");
+        eprintln!("window sizes (capped 16): {windows:?}");
+        eprintln!("stepped classes: {classes:?}");
     }
 }

@@ -164,6 +164,15 @@ pub struct MachineConfig {
     pub phys_mem_bytes: u64,
     /// Nanoseconds per bus cycle, used to convert wall time to cycles.
     pub ns_per_cycle: u64,
+    /// Quiescence-aware fast-forward: when every component is in a
+    /// deterministic multi-cycle wait, the stepper may advance to the next
+    /// event horizon in one bulk pass instead of cycle by cycle. The skip
+    /// is bit-identical to per-cycle stepping (a pure optimization), so
+    /// this stays on by default; the knob exists so differential tests can
+    /// compare both paths and ablations can measure the win. Builds with
+    /// the `audit` feature ignore it and always step every cycle, keeping
+    /// the auditor an independent per-cycle oracle.
+    pub fast_forward: bool,
 }
 
 impl MachineConfig {
@@ -198,6 +207,7 @@ impl MachineConfig {
             fault_stall_cycles: 400,
             phys_mem_bytes: 32 * 1024 * 1024,
             ns_per_cycle: 170,
+            fast_forward: true,
         }
     }
 
@@ -232,6 +242,7 @@ impl MachineConfig {
             fault_stall_cycles: 50,
             phys_mem_bytes: 1024 * 1024,
             ns_per_cycle: 170,
+            fast_forward: true,
         }
     }
 
@@ -376,6 +387,15 @@ mod tests {
     fn seconds_to_cycles_uses_cycle_time() {
         let c = MachineConfig::fx8();
         assert_eq!(c.seconds_to_cycles(1.0), 1_000_000_000 / 170);
+    }
+
+    #[test]
+    fn fast_forward_defaults_on() {
+        assert!(MachineConfig::fx8().fast_forward);
+        assert!(MachineConfig::tiny().fast_forward);
+        let mut off = MachineConfig::fx8();
+        off.fast_forward = false;
+        assert!(off.validate().is_ok(), "the knob is never a validity error");
     }
 
     #[test]

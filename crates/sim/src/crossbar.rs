@@ -114,6 +114,24 @@ impl Crossbar {
         }
     }
 
+    /// The cycle at which `bank` can next grant a request; a value at or
+    /// before the current cycle means the bank is free now. The
+    /// fast-forward horizon leans on this: a request denied because its
+    /// bank is busy cannot be granted — and a denial mutates nothing but
+    /// the denial counters — before this cycle.
+    pub fn bank_free_at(&self, bank: usize) -> Cycle {
+        self.bank_busy_until[bank]
+    }
+
+    /// Account `k` denied retry cycles for CE `ce` in closed form: exactly
+    /// the counter movement `k` busy-bank [`Crossbar::arbitrate_into`]
+    /// cycles would record for that CE (a busy-bank denial touches no
+    /// other arbiter state — the rotor only moves on grants).
+    pub fn note_denied_retries(&mut self, ce: CeId, k: u64) {
+        self.stats.denials += k;
+        self.stats.denials_by_ce[ce] += k;
+    }
+
     /// Capacity invariants over one cycle's arbitration outcome: a grant
     /// implies a request, at most one grant per bank, and the granted bank
     /// was claimed for service. Allocation-free (nested scan over ≤ 8 CEs).
@@ -188,6 +206,30 @@ mod tests {
         let mut x = Crossbar::new(4, 4, Arbitration::FixedLowFirst);
         let g = x.arbitrate(0, &[Some(0), Some(1), Some(2), Some(3)], 1);
         assert_eq!(g, vec![true; 4]);
+    }
+
+    #[test]
+    fn bulk_denial_accounting_matches_per_cycle_retries() {
+        let mk = || Crossbar::new(2, 1, Arbitration::FixedLowFirst);
+        let (mut a, mut b) = (mk(), mk());
+        // Claim the bank for 5 cycles at t=0 on both arbiters.
+        assert_eq!(a.arbitrate(0, &[Some(0), None], 5), vec![true, false]);
+        assert_eq!(b.arbitrate(0, &[Some(0), None], 5), vec![true, false]);
+        // Per-cycle: CE1 retries cycles 1..5, denied each time.
+        for t in 1..5 {
+            assert_eq!(a.arbitrate(t, &[None, Some(0)], 5), vec![false, false]);
+        }
+        // Bulk: the horizon says the bank frees at cycle 5; account the
+        // 4 skipped retry cycles in closed form.
+        assert_eq!(b.bank_free_at(0), 5);
+        b.note_denied_retries(1, 4);
+        assert_eq!(a.stats(), b.stats());
+        // Both arbiters then grant identically at the horizon cycle.
+        let ga = a.arbitrate(5, &[None, Some(0)], 5);
+        let gb = b.arbitrate(5, &[None, Some(0)], 5);
+        assert_eq!(ga, gb);
+        assert_eq!(ga, vec![false, true]);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -231,6 +231,32 @@ mod tests {
         assert_eq!(m.probe_op(3), MemBusOp::Coherence);
     }
 
+    /// The bulk stepper replaces the per-cycle `gc(t)` of a skipped window
+    /// with one `gc(window_end)`: gc is a monotone threshold-pop from the
+    /// sorted front and `next_free_start`'s partition point never lands on
+    /// stale (past) entries, so schedules, stats, and the surviving start
+    /// record are identical either way.
+    #[test]
+    fn deferred_gc_matches_per_cycle_gc() {
+        let run = |deferred: bool| {
+            let mut m = MemBusSystem::new(2, 4, 10, 4);
+            let mut tickets = Vec::new();
+            for t in 0..40u64 {
+                if t % 3 == 0 {
+                    tickets.push(m.schedule(t, MemBusOp::IpTraffic, LineId(t)));
+                }
+                if !deferred {
+                    m.gc(t);
+                }
+            }
+            if deferred {
+                m.gc(39);
+            }
+            (tickets, m.stats().clone(), m.probe_op(40))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
     #[test]
     fn coherence_is_short() {
         let mut m = bus();

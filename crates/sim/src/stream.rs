@@ -62,6 +62,29 @@ impl CodeRegion {
             bytes_per_instr: 4,
         }
     }
+
+    /// How many successive instruction fetches, starting at byte offset
+    /// `cursor` into the footprint, both stay inside the current
+    /// `line_bytes`-sized fetch line and stop short of the footprint wrap.
+    /// This is the geometric core of the CE's compute-burst horizon: each
+    /// counted step advances the cursor by `bytes_per_instr` without
+    /// crossing a line boundary (which would probe the icache) or taking
+    /// the wrap modulo (which would invalidate a bulk cursor update).
+    /// Returns 0 for a degenerate `bytes_per_instr` of 0 (the cursor does
+    /// not advance; no step can be proven pure); otherwise at least 1,
+    /// since `cursor < footprint_bytes` keeps one step of both caps.
+    pub fn fetch_steps_in_line(&self, cursor: u64, line_bytes: u64) -> u64 {
+        let b = self.bytes_per_instr;
+        if b == 0 {
+            return 0;
+        }
+        // line_bytes is a power of two, so the in-line byte offset is the
+        // low bits of the address.
+        let offset = self.base.wrapping_add(cursor).0 % line_bytes;
+        let in_line = (line_bytes - 1 - offset) / b + 1;
+        let to_wrap = (self.footprint_bytes.max(1) - cursor).div_ceil(b);
+        in_line.min(to_wrap)
+    }
 }
 
 /// An open-ended serial instruction stream.
@@ -201,6 +224,57 @@ mod tests {
                 Op::Store(VAddr::new(2, 0x100000 + 40)),
             ]
         );
+    }
+
+    #[test]
+    fn fetch_steps_in_line_counts_to_the_line_boundary() {
+        let r = CodeRegion {
+            base: VAddr::new(1, 0),
+            footprint_bytes: 1024,
+            bytes_per_instr: 4,
+        };
+        // At the line start: a full 32-byte line of 4-byte instructions.
+        assert_eq!(r.fetch_steps_in_line(0, 32), 8);
+        // Mid-line: only the remaining fetches before the crossing.
+        assert_eq!(r.fetch_steps_in_line(28, 32), 1);
+        assert_eq!(r.fetch_steps_in_line(20, 32), 3);
+        // The count agrees with stepping the cursor one fetch at a time.
+        for cursor in (0..64).step_by(4) {
+            let n = r.fetch_steps_in_line(cursor, 32);
+            let line = |c: u64| r.base.wrapping_add(c).0 / 32;
+            for i in 0..n {
+                assert_eq!(
+                    line(cursor + i * r.bytes_per_instr),
+                    line(cursor),
+                    "step {i} of {n} from {cursor} crossed a line"
+                );
+            }
+            assert_ne!(
+                line(cursor + n * r.bytes_per_instr),
+                line(cursor),
+                "step {n} from {cursor} should cross"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_steps_in_line_caps_at_the_footprint_wrap() {
+        // Footprint not a multiple of the instruction size: the last
+        // in-footprint fetch sits at byte 18, and the wrap must cap the
+        // count even though the line has room.
+        let r = CodeRegion {
+            base: VAddr::new(1, 0),
+            footprint_bytes: 20,
+            bytes_per_instr: 6,
+        };
+        assert_eq!(r.fetch_steps_in_line(18, 32), 1, "next step wraps");
+        assert_eq!(r.fetch_steps_in_line(0, 32), 4, "4 fetches then wrap");
+        // Degenerate geometry: a zero instruction size never advances.
+        let z = CodeRegion {
+            bytes_per_instr: 0,
+            ..r
+        };
+        assert_eq!(z.fetch_steps_in_line(0, 32), 0);
     }
 
     #[test]

@@ -32,7 +32,12 @@ fn render(report: &fx8_study::sim::audit::AuditReport) -> String {
 /// violations across all three session types.
 #[test]
 fn audited_quick_study_is_clean() {
-    let study = Study::run(StudyConfig::quick());
+    let cfg = StudyConfig::quick();
+    // The fast-forward knob stays *on*: audit builds disable skipping
+    // internally, so the auditor checks the same per-cycle trajectory the
+    // skipping build claims to reproduce.
+    assert!(cfg.machine.fast_forward, "audit runs with the knob enabled");
+    let study = Study::run(cfg);
     let report = study.audit_report();
     assert!(report.checked_cycles > 0, "auditor saw every stepped cycle");
     assert!(report.is_clean(), "{}", report.render());
