@@ -105,8 +105,16 @@ fn parse_args() -> Result<Args, String> {
 /// jitter, a real regression from a code change does not hide inside 15%.
 const REGRESSION_TOLERANCE: f64 = 0.15;
 
+/// Looser floor for the wait-dominated states (idle, serial, join-wait):
+/// their wall time per simulated cycle is dominated by bulk-skip
+/// bookkeeping, so a handful of scheduler hiccups moves the rate far more
+/// than it moves the compute-bound loop measurement.
+const WAIT_STATE_TOLERANCE: f64 = 0.35;
+
 /// Measure throughput against the committed `current` entry without
-/// rewriting the file. Fails if `loop_cycles_per_sec` dropped >15%.
+/// rewriting the file. Fails if any mounted-state rate dropped below its
+/// tolerance: the loop rate guards the dense stepper, the idle / serial /
+/// join-wait rates guard the fast-forward engine.
 fn run_check_regression(path: &str) -> ExitCode {
     let committed = match std::fs::read_to_string(path)
         .ok()
@@ -122,24 +130,53 @@ fn run_check_regression(path: &str) -> ExitCode {
     let fresh = throughput::measure(1.0, StudyConfig::quick());
     print!("{}", throughput::render("committed", &committed));
     print!("{}", throughput::render("fresh", &fresh));
-    let floor = committed.loop_cycles_per_sec * (1.0 - REGRESSION_TOLERANCE);
-    if fresh.loop_cycles_per_sec < floor {
-        eprintln!(
-            "REGRESSION: loop throughput {:.0} cycles/s fell below {:.0} \
-             ({}% under the committed {:.0})",
-            fresh.loop_cycles_per_sec,
-            floor,
-            (REGRESSION_TOLERANCE * 100.0) as u32,
+    let checks = [
+        (
+            "loop",
             committed.loop_cycles_per_sec,
-        );
+            fresh.loop_cycles_per_sec,
+            REGRESSION_TOLERANCE,
+        ),
+        (
+            "idle",
+            committed.idle_cycles_per_sec,
+            fresh.idle_cycles_per_sec,
+            WAIT_STATE_TOLERANCE,
+        ),
+        (
+            "serial",
+            committed.serial_cycles_per_sec,
+            fresh.serial_cycles_per_sec,
+            WAIT_STATE_TOLERANCE,
+        ),
+        (
+            "ff_loop",
+            committed.ff_loop_cycles_per_sec,
+            fresh.ff_loop_cycles_per_sec,
+            WAIT_STATE_TOLERANCE,
+        ),
+    ];
+    let mut regressed = false;
+    for (name, committed_rate, fresh_rate, tol) in checks {
+        let floor = committed_rate * (1.0 - tol);
+        if fresh_rate < floor {
+            eprintln!(
+                "REGRESSION: {name} throughput {fresh_rate:.0} cycles/s fell below \
+                 {floor:.0} ({}% under the committed {committed_rate:.0})",
+                (tol * 100.0) as u32,
+            );
+            regressed = true;
+        } else {
+            eprintln!(
+                "ok: {name} throughput {fresh_rate:.0} cycles/s within {}% of \
+                 committed {committed_rate:.0}",
+                (tol * 100.0) as u32,
+            );
+        }
+    }
+    if regressed {
         return ExitCode::FAILURE;
     }
-    eprintln!(
-        "ok: loop throughput {:.0} cycles/s within {}% of committed {:.0}",
-        fresh.loop_cycles_per_sec,
-        (REGRESSION_TOLERANCE * 100.0) as u32,
-        committed.loop_cycles_per_sec,
-    );
     ExitCode::SUCCESS
 }
 

@@ -37,6 +37,10 @@ pub struct ThroughputNumbers {
     pub loop_skip_ratio: f64,
     /// `cycles_skipped / cycles_total` for the join-wait loop measurement.
     pub ff_loop_skip_ratio: f64,
+    /// `cycles_dense / cycles_total` for the full-width loop measurement:
+    /// the fraction of the busy loop regime that ran through the dense SoA
+    /// batch stepper instead of the scalar per-cycle stepper.
+    pub dense_ratio: f64,
     /// Wall time of `Study::run(StudyConfig::quick())`, seconds.
     pub quick_study_wall_s: f64,
 }
@@ -67,6 +71,7 @@ impl serde::Deserialize for ThroughputNumbers {
             serial_skip_ratio: opt("serial_skip_ratio")?,
             loop_skip_ratio: opt("loop_skip_ratio")?,
             ff_loop_skip_ratio: opt("ff_loop_skip_ratio")?,
+            dense_ratio: opt("dense_ratio")?,
             quick_study_wall_s: req("quick_study_wall_s")?,
         })
     }
@@ -174,21 +179,47 @@ pub fn skip_ratio(cluster: &Cluster) -> f64 {
     }
 }
 
-/// Cycles/sec of `Cluster::run` on `cluster`, timed over at least
-/// `min_wall_s` of wall clock in `chunk`-cycle slices.
+/// `cycles_dense / cycles_total` over everything `cluster` has run.
+pub fn dense_ratio(cluster: &Cluster) -> f64 {
+    let (dense, total) = cluster.dense_counters();
+    if total == 0 {
+        0.0
+    } else {
+        dense as f64 / total as f64
+    }
+}
+
+/// Independent timing repetitions per mounted state. The rate reported is
+/// the **maximum** over the repetitions: on a shared (single-vCPU CI)
+/// machine any window can lose an arbitrary slice of wall clock to
+/// preemption, which only ever *lowers* a measured rate, so the fastest
+/// repetition is the least-contaminated estimate of the simulator's
+/// actual speed. Three windows of `min_wall_s / 3` keep total bench time
+/// unchanged while making it likely one window lands in quiet time.
+const MEASURE_REPS: u32 = 3;
+
+/// Cycles/sec of `Cluster::run` on `cluster`: best of [`MEASURE_REPS`]
+/// timing windows totalling at least `min_wall_s` of wall clock, each
+/// stepped in `chunk`-cycle slices.
 pub fn measure_run(cluster: &mut Cluster, chunk: u64, min_wall_s: f64) -> f64 {
     // Warm the caches and branch predictors before timing.
     cluster.run(chunk.min(10_000));
-    let start = Instant::now();
-    let mut cycles = 0u64;
-    loop {
-        cluster.run(chunk);
-        cycles += chunk;
-        let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= min_wall_s {
-            return cycles as f64 / elapsed;
-        }
+    let window_s = min_wall_s / MEASURE_REPS as f64;
+    let mut best = 0.0f64;
+    for _ in 0..MEASURE_REPS {
+        let start = Instant::now();
+        let mut cycles = 0u64;
+        let rate = loop {
+            cluster.run(chunk);
+            cycles += chunk;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= window_s {
+                break cycles as f64 / elapsed;
+            }
+        };
+        best = best.max(rate);
     }
+    best
 }
 
 /// Measure every throughput number, including each mounted state's
@@ -219,6 +250,7 @@ pub fn measure(min_wall_s: f64, study_cfg: StudyConfig) -> ThroughputNumbers {
         serial_skip_ratio: skip_ratio(&serial),
         loop_skip_ratio: skip_ratio(&looped),
         ff_loop_skip_ratio: skip_ratio(&ff_loop),
+        dense_ratio: dense_ratio(&looped),
         quick_study_wall_s: quick_wall,
     }
 }
@@ -226,13 +258,14 @@ pub fn measure(min_wall_s: f64, study_cfg: StudyConfig) -> ThroughputNumbers {
 /// Render one measurement as an aligned text block.
 pub fn render(label: &str, n: &ThroughputNumbers) -> String {
     format!(
-        "{label}:\n  idle:    {:>12.0} cycles/s  (skip {:.1}%)\n  serial:  {:>12.0} cycles/s  (skip {:.1}%)\n  loop:    {:>12.0} cycles/s  (skip {:.1}%)\n  ff loop: {:>12.0} cycles/s  (skip {:.1}%)\n  quick study: {:.2} s\n",
+        "{label}:\n  idle:    {:>12.0} cycles/s  (skip {:.1}%)\n  serial:  {:>12.0} cycles/s  (skip {:.1}%)\n  loop:    {:>12.0} cycles/s  (skip {:.1}%, dense {:.1}%)\n  ff loop: {:>12.0} cycles/s  (skip {:.1}%)\n  quick study: {:.2} s\n",
         n.idle_cycles_per_sec,
         n.idle_skip_ratio * 100.0,
         n.serial_cycles_per_sec,
         n.serial_skip_ratio * 100.0,
         n.loop_cycles_per_sec,
         n.loop_skip_ratio * 100.0,
+        n.dense_ratio * 100.0,
         n.ff_loop_cycles_per_sec,
         n.ff_loop_skip_ratio * 100.0,
         n.quick_study_wall_s
@@ -297,6 +330,7 @@ mod tests {
             serial_skip_ratio: 0.5,
             loop_skip_ratio: 0.1,
             ff_loop_skip_ratio: 0.8,
+            dense_ratio: 0.7,
             quick_study_wall_s: 3.0,
         }
     }
@@ -380,6 +414,21 @@ mod tests {
         assert_eq!(n.ff_loop_cycles_per_sec, 0.0);
         assert_eq!(n.idle_skip_ratio, 0.0);
         assert_eq!(n.ff_loop_skip_ratio, 0.0);
+        assert_eq!(n.dense_ratio, 0.0, "pre-dense-stepper files default to 0");
+    }
+
+    #[test]
+    fn full_loop_cluster_is_dense_heavy() {
+        // The full-width loop keeps every CE busy, which is exactly the
+        // dense SoA stepper's domain.
+        let mut c = loop_cluster(7);
+        c.run(200_000);
+        let ratio = dense_ratio(&c);
+        if cfg!(feature = "audit") {
+            assert_eq!(ratio, 0.0, "audit builds never dense-step");
+        } else {
+            assert!(ratio > 0.9, "loop dense ratio too low: {ratio}");
+        }
     }
 
     #[test]

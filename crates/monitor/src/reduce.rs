@@ -58,9 +58,44 @@ impl EventCounts {
 
     /// Fold more records into the counts.
     pub fn accumulate(&mut self, records: &[ProbeWord]) {
+        self.accumulate_slice(records);
+    }
+
+    /// Batch reduction of a record slice — the same counts as folding each
+    /// word through [`EventCounts::accumulate_word`], computed mask-first:
+    /// instead of testing all [`MAX_CES`](fx8_sim::probe::MAX_CES) lanes
+    /// per record, the inner loops walk only the set bits of `active_mask` and
+    /// [`ProbeWord::busy_ce_mask`], and the (usually dominant) idle CE-bus
+    /// count is credited in one subtraction. Records from dense loop
+    /// windows carry 6–8 busy lanes and sparse records carry 0–1, so both
+    /// regimes do less work than the lane-by-lane scan.
+    pub fn accumulate_slice(&mut self, records: &[ProbeWord]) {
+        let n = self.n_ces;
+        // Lanes beyond the cluster width never contribute — exactly the
+        // `0..n_ces` bound of the word-at-a-time loop.
+        let width_mask = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 };
+        let idle = CeBusOp::Idle.index();
         for w in records {
-            self.accumulate_word(w);
+            let active = w.active_count() as usize;
+            debug_assert!(active <= n, "more active CEs than the cluster has");
+            self.num[active.min(n)] += 1;
+            let mut m = w.active_mask & width_mask;
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                self.prof[j] += 1;
+                m &= m - 1;
+            }
+            let busy = w.busy_ce_mask() & width_mask;
+            self.ceop[idle] += n as u64 - u64::from(busy.count_ones());
+            let mut b = busy;
+            while b != 0 {
+                let j = b.trailing_zeros() as usize;
+                self.ceop[w.ce_ops[j].index()] += 1;
+                b &= b - 1;
+            }
+            self.membop[w.mem_op.index()] += 1;
         }
+        self.records += records.len() as u64;
     }
 
     /// Fold a single record into the counts — the streaming-acquisition
@@ -320,6 +355,55 @@ mod tests {
         assert!(c.ce_bus_busy().is_finite());
         assert_eq!(c.ce_bus_busy(), 0.0);
         assert!(c.validate().is_ok());
+    }
+
+    mod slice_vs_word {
+        use super::*;
+        use fx8_sim::probe::MAX_CES;
+        use proptest::prelude::*;
+
+        /// A well-formed record for an `n_ces`-wide cluster from raw draws:
+        /// activity lines and busy opcodes only on in-width lanes.
+        fn make_word(n_ces: usize, mask: u8, ops: [usize; 8], mem: usize) -> ProbeWord {
+            let width_mask = if n_ces >= 8 {
+                u8::MAX
+            } else {
+                (1u8 << n_ces) - 1
+            };
+            let mut w = ProbeWord::idle(0);
+            w.active_mask = mask & width_mask;
+            for (j, &op) in ops.iter().enumerate().take(n_ces.min(MAX_CES)) {
+                w.ce_ops[j] = CeBusOp::ALL[op];
+            }
+            w.mem_op = MemBusOp::ALL[mem];
+            w
+        }
+
+        proptest! {
+            /// The mask-driven batch reducer and the lane-by-lane scalar
+            /// reducer must produce identical counts on any record slice.
+            #[test]
+            fn slice_reduction_matches_word_at_a_time(
+                n_ces in 1usize..=MAX_CES,
+                raw in prop::collection::vec(
+                    (any::<u8>(), prop::array::uniform8(0..CeBusOp::COUNT), 0..MemBusOp::COUNT),
+                    0..200,
+                ),
+            ) {
+                let words: Vec<ProbeWord> = raw
+                    .iter()
+                    .map(|&(mask, ops, mem)| make_word(n_ces, mask, ops, mem))
+                    .collect();
+                let mut scalar = EventCounts::empty(n_ces);
+                for w in &words {
+                    scalar.accumulate_word(w);
+                }
+                let mut batch = EventCounts::empty(n_ces);
+                batch.accumulate_slice(&words);
+                prop_assert_eq!(&scalar, &batch);
+                prop_assert!(batch.validate().is_ok());
+            }
+        }
     }
 
     #[test]

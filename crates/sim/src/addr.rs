@@ -63,10 +63,13 @@ impl VAddr {
     }
 
     /// Cache-line number for a given line size (power of two).
+    /// The divisor is a power of two by contract, so this compiles to a
+    /// shift even when `line_bytes` is not a compile-time constant — the
+    /// stepper calls this several times per simulated cycle.
     #[inline]
     pub fn line(self, line_bytes: u64) -> LineId {
         debug_assert!(line_bytes.is_power_of_two());
-        LineId(self.0 / line_bytes)
+        LineId(self.0 >> line_bytes.trailing_zeros())
     }
 
     /// Add a byte displacement, staying in the same space.

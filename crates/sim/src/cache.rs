@@ -64,10 +64,18 @@ impl CacheStats {
 /// (the shared cache interleaves lines across banks before set-indexing),
 /// so every method takes an explicit `set` argument. `debug_assert`s guard
 /// against crossed wires in debug builds.
+///
+/// Storage is a single flat `ways` array with stride `assoc` and a
+/// per-set occupancy count: set `s` lives in
+/// `ways[s * assoc .. s * assoc + len[s]]`, MRU first. A lookup is then
+/// one contiguous scan — no per-set heap allocation, no pointer chase —
+/// which matters because every CE and IP reference lands here.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// `sets[s]` holds at most `assoc` entries, MRU first.
-    sets: Vec<Vec<Entry>>,
+    /// All ways, flattened; slots at or past a set's `len` are garbage.
+    ways: Vec<Entry>,
+    /// Resident entries per set (`<= assoc`).
+    len: Vec<u8>,
     assoc: usize,
     stats: CacheStats,
 }
@@ -76,8 +84,15 @@ impl SetAssocCache {
     /// Create a cache with `n_sets` sets of associativity `assoc`.
     pub fn new(n_sets: usize, assoc: usize) -> Self {
         assert!(n_sets > 0 && assoc > 0);
+        assert!(assoc <= u8::MAX as usize, "associativity fits the counters");
+        let filler = Entry {
+            line: LineId(u64::MAX),
+            dirty: false,
+            unique: false,
+        };
         SetAssocCache {
-            sets: (0..n_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            ways: vec![filler; n_sets * assoc],
+            len: vec![0; n_sets],
             assoc,
             stats: CacheStats::default(),
         }
@@ -85,7 +100,7 @@ impl SetAssocCache {
 
     /// Number of sets.
     pub fn n_sets(&self) -> usize {
-        self.sets.len()
+        self.len.len()
     }
 
     /// Associativity.
@@ -105,12 +120,28 @@ impl SetAssocCache {
 
     /// Total lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+
+    /// The live entries of `set`, MRU first.
+    #[inline]
+    fn set_ways(&self, set: usize) -> &[Entry] {
+        &self.ways[set * self.assoc..set * self.assoc + self.len[set] as usize]
     }
 
     /// Look up `line` in `set`; on hit, promote to MRU and return the entry.
+    #[inline]
     pub fn lookup(&mut self, set: usize, line: LineId) -> Option<Entry> {
-        let ways = &mut self.sets[set];
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.len[set] as usize];
+        // MRU fast path: a repeat touch of the most recent line needs no
+        // reordering at all.
+        if let Some(&e0) = ways.first() {
+            if e0.line == line {
+                self.stats.hits += 1;
+                return Some(e0);
+            }
+        }
         if let Some(pos) = ways.iter().position(|e| e.line == line) {
             // MRU promotion as one rotate instead of remove + insert: the
             // same permutation without shifting the tail of the set twice.
@@ -128,13 +159,13 @@ impl SetAssocCache {
 
     /// Peek without LRU update or stats.
     pub fn contains(&self, set: usize, line: LineId) -> bool {
-        self.sets[set].iter().any(|e| e.line == line)
+        self.set_ways(set).iter().any(|e| e.line == line)
     }
 
     /// Peek at the resident entry for `line` in `set`, without LRU update
     /// or stats side effects (coherence audits).
     pub fn entry(&self, set: usize, line: LineId) -> Option<Entry> {
-        self.sets[set].iter().find(|e| e.line == line).copied()
+        self.set_ways(set).iter().find(|e| e.line == line).copied()
     }
 
     /// Install `line` as MRU in `set`; returns the victim if the set was full.
@@ -142,9 +173,11 @@ impl SetAssocCache {
     pub fn fill(&mut self, set: usize, line: LineId, dirty: bool, unique: bool) -> Option<Evicted> {
         debug_assert!(!self.contains(set, line), "fill of resident line");
         self.stats.fills += 1;
-        let ways = &mut self.sets[set];
-        let victim = if ways.len() == self.assoc {
-            let v = ways.pop().expect("full set has LRU entry");
+        let base = set * self.assoc;
+        let len = self.len[set] as usize;
+        let victim = if len == self.assoc {
+            // The LRU entry falls off the end; everything shifts down one.
+            let v = self.ways[base + len - 1];
             self.stats.evictions += 1;
             if v.dirty {
                 self.stats.writebacks += 1;
@@ -154,22 +187,24 @@ impl SetAssocCache {
                 dirty: v.dirty,
             })
         } else {
+            self.len[set] = (len + 1) as u8;
             None
         };
-        ways.insert(
-            0,
-            Entry {
-                line,
-                dirty,
-                unique,
-            },
-        );
+        let keep = len.min(self.assoc - 1);
+        self.ways.copy_within(base..base + keep, base + 1);
+        self.ways[base] = Entry {
+            line,
+            dirty,
+            unique,
+        };
         victim
     }
 
     /// Mark a resident line dirty (and unique). Returns false if not resident.
     pub fn mark_dirty(&mut self, set: usize, line: LineId) -> bool {
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line == line) {
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.len[set] as usize];
+        if let Some(e) = ways.iter_mut().find(|e| e.line == line) {
             e.dirty = true;
             e.unique = true;
             true
@@ -180,7 +215,9 @@ impl SetAssocCache {
 
     /// Grant unique ownership of a resident line. Returns false if absent.
     pub fn make_unique(&mut self, set: usize, line: LineId) -> bool {
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line == line) {
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.len[set] as usize];
+        if let Some(e) = ways.iter_mut().find(|e| e.line == line) {
             e.unique = true;
             true
         } else {
@@ -191,10 +228,17 @@ impl SetAssocCache {
     /// Coherence invalidation. Returns the entry if it was resident
     /// (the caller decides whether a dirty copy must be flushed).
     pub fn invalidate(&mut self, set: usize, line: LineId) -> Option<Entry> {
-        let ways = &mut self.sets[set];
+        let base = set * self.assoc;
+        let len = self.len[set] as usize;
+        let ways = &self.ways[base..base + len];
         if let Some(pos) = ways.iter().position(|e| e.line == line) {
             self.stats.invalidations += 1;
-            Some(ways.remove(pos))
+            let e = self.ways[base + pos];
+            // Close the gap, preserving LRU order of the survivors.
+            self.ways
+                .copy_within(base + pos + 1..base + len, base + pos);
+            self.len[set] = (len - 1) as u8;
+            Some(e)
         } else {
             None
         }
@@ -202,9 +246,7 @@ impl SetAssocCache {
 
     /// Drop everything (used between unrelated test scenarios).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.len.fill(0);
     }
 }
 
@@ -260,6 +302,20 @@ mod tests {
         assert!(!c.contains(0, line(4)));
         assert!(c.invalidate(0, line(4)).is_none());
         assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_preserves_lru_order_of_survivors() {
+        let mut c = SetAssocCache::new(1, 4);
+        for n in 1..=4 {
+            c.fill(0, line(n), false, false);
+        }
+        // MRU..LRU is now 4,3,2,1; dropping 3 must leave 4,2,1.
+        assert!(c.invalidate(0, line(3)).is_some());
+        let v = c.fill(0, line(5), false, false);
+        assert!(v.is_none(), "freed way absorbs the fill");
+        let evicted = c.fill(0, line(6), false, false).expect("full again");
+        assert_eq!(evicted.line, line(1), "line 1 is still the LRU");
     }
 
     #[test]

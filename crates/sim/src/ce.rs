@@ -175,8 +175,16 @@ impl Ce {
         let line_bytes = self.icache.line_bytes();
         let addr = code.base.wrapping_add(self.fetch_cursor);
         let line = addr.line(line_bytes);
-        self.fetch_cursor =
-            (self.fetch_cursor + code.bytes_per_instr) % code.footprint_bytes.max(1);
+        // The cursor stays below the footprint, so the wrap is a compare
+        // in the common case — this runs once per compute cycle per CE and
+        // the footprint is not a compile-time constant.
+        let next = self.fetch_cursor + code.bytes_per_instr;
+        let footprint = code.footprint_bytes.max(1);
+        self.fetch_cursor = if next >= footprint {
+            next % footprint
+        } else {
+            next
+        };
         if self.last_fetch_line == Some(line) {
             return None;
         }

@@ -121,6 +121,24 @@ impl SkipPlan {
     }
 }
 
+/// Widest cache-bank geometry the dense stepper's fixed-size per-bank
+/// requester masks cover; wider (unvalidated, test-only) geometries fall
+/// back to the scalar stepper.
+const DENSE_MAX_BANKS: usize = 16;
+
+/// How the next stretch of cycles should be advanced, as decided by
+/// [`Cluster::step_verdict`]: a provably-quiescent window applied in
+/// closed form, a dense loop window run through the SoA batch kernel, or
+/// a single scalar cycle.
+enum StepVerdict {
+    /// Quiescent window: apply [`Cluster::advance_bulk`].
+    Bulk(SkipPlan),
+    /// Busy concurrent-loop window: run [`Cluster::step_dense`].
+    Dense,
+    /// Anything else: one [`Cluster::step_cycle`].
+    Step,
+}
+
 /// The machine.
 pub struct Cluster {
     cfg: MachineConfig,
@@ -155,6 +173,11 @@ pub struct Cluster {
     /// the skip ratio is the one piece of state that differs by design
     /// between the fast-forward and per-cycle trajectories.
     cycles_skipped: u64,
+    /// Cycles advanced by the dense SoA batch stepper (a subset of
+    /// `cycles_total`, disjoint from `cycles_skipped`). Like the skip
+    /// counter, this is bookkeeping about *how* the machine advanced and
+    /// is excluded from [`Cluster::state_digest`].
+    cycles_dense: u64,
     /// Total cycles advanced, stepped or skipped.
     cycles_total: u64,
     /// Per-cycle invariant checker (compiled in under the `audit` feature).
@@ -195,6 +218,7 @@ impl Cluster {
             iter_buf: Vec::new(),
             next_probe_at: None,
             cycles_skipped: 0,
+            cycles_dense: 0,
             cycles_total: 0,
             #[cfg(feature = "audit")]
             auditor: crate::audit::Auditor::default(),
@@ -383,18 +407,40 @@ impl Cluster {
     /// Run `n` cycles, discarding the probe words. Takes the quiet fast
     /// path: the machine advances bit-identically to [`Cluster::step`],
     /// but the memory-bus probe decode is skipped since no analyzer is
-    /// armed to read it. Quiescent stretches are fast-forwarded through
-    /// [`Cluster::skip_quiescent`] — the cheapest possible skip case,
-    /// since nothing is observing the intermediate probe words.
+    /// armed to read it. Each iteration picks the cheapest legal stepper:
+    /// quiescent stretches are bulk-skipped, busy loop windows run through
+    /// the dense SoA kernel ([`Cluster::step_dense`]), and everything else
+    /// falls back to the scalar per-cycle stepper.
     pub fn run(&mut self, n: u64) {
         let end = self.now + n;
         while self.now < end {
-            let plan = self.skippable(end - self.now);
-            if plan.k > 0 {
-                self.advance_bulk(plan);
-            } else {
-                self.step_cycle(false);
+            match self.step_verdict(end - self.now) {
+                StepVerdict::Bulk(plan) => self.advance_bulk(plan),
+                StepVerdict::Dense => {
+                    if self.step_dense(end - self.now) == 0 {
+                        self.step_cycle(false);
+                    }
+                }
+                StepVerdict::Step => {
+                    self.step_cycle(false);
+                }
             }
+        }
+    }
+
+    /// Decide how the next stretch of cycles should be advanced. Bulk
+    /// skipping is preferred (it is pure closed-form accounting), then the
+    /// dense kernel, then the scalar stepper. All three produce
+    /// bit-identical machine state.
+    fn step_verdict(&self, limit: u64) -> StepVerdict {
+        let plan = self.skippable(limit);
+        if plan.k > 0 {
+            return StepVerdict::Bulk(plan);
+        }
+        if self.dense_eligible() {
+            StepVerdict::Dense
+        } else {
+            StepVerdict::Step
         }
     }
 
@@ -495,6 +541,14 @@ impl Cluster {
     /// [`Cluster::state_digest`] on purpose.
     pub fn skip_counters(&self) -> (u64, u64) {
         (self.cycles_skipped, self.cycles_total)
+    }
+
+    /// `(cycles_dense, cycles_total)` advanced so far: how much of the
+    /// trajectory ran through the dense SoA batch kernel. Like
+    /// [`Cluster::skip_counters`], this is advancement bookkeeping, not
+    /// machine state, and is excluded from [`Cluster::state_digest`].
+    pub fn dense_counters(&self) -> (u64, u64) {
+        (self.cycles_dense, self.cycles_total)
     }
 
     /// Number of CEs currently concurrency-active: the population count the
@@ -723,7 +777,464 @@ impl Cluster {
         }
         self.now += k;
         self.cycles_total += k;
-        self.cycles_skipped += k;
+        // Only genuine bulk advancement counts toward the skip ratio: a
+        // single-cycle "window" did the same work a scalar step would have
+        // (the horizon scan just proved it inert first), so reporting it
+        // as skipped would overstate how much the fast-forward engine
+        // actually saved.
+        if k >= 2 {
+            self.cycles_skipped += k;
+        }
+    }
+
+    /// Whether the machine is in the dense stepper's domain: a mounted
+    /// concurrent loop whose CEs are all either workers or fully inert
+    /// unmounted lanes. In that regime every per-cycle effect is one the
+    /// SoA kernel replicates inline — the CCB-resolution cycles it cannot
+    /// (grants, exhaustion, promotion) make it bail back to the scalar
+    /// stepper. Forced off under the `audit` feature so the per-cycle
+    /// auditor keeps observing every cycle, and by the `dense_stepping`
+    /// config knob.
+    fn dense_eligible(&self) -> bool {
+        if cfg!(feature = "audit") || !self.cfg.dense_stepping {
+            return false;
+        }
+        if !matches!(self.load, Load::Loop { .. }) {
+            return false;
+        }
+        // The kernel's bank-conflict masks are fixed-width.
+        if self.cfg.cache.banks > DENSE_MAX_BANKS {
+            return false;
+        }
+        self.ces.iter().all(|ce| match ce.role {
+            CeRole::Worker => true,
+            // An unmounted lane is eligible only when provably inert: it
+            // then contributes nothing to any cycle, so the kernel can
+            // ignore it entirely.
+            CeRole::Inactive => {
+                ce.state == CeState::Ready
+                    && ce.cur_op.is_none()
+                    && ce.ops.is_empty()
+                    && ce.compute_left == 0
+                    && ce.pending_ifetch.is_none()
+            }
+            CeRole::ClusterSerial | CeRole::Detached => false,
+        })
+    }
+
+    /// The dense SoA batch stepper: run up to `limit` cycles of a busy
+    /// concurrent-loop window in one fused pass, bit-identically to the
+    /// same number of [`Cluster::step_cycle`] calls (probe words
+    /// discarded). Returns how many cycles were advanced; 0 means the very
+    /// next cycle is a CCB-resolution cycle the scalar stepper must run.
+    ///
+    /// Where the scalar stepper re-derives every CE's situation from its
+    /// state enum each cycle, this kernel packs the lane structure once at
+    /// window entry — ready/await-iter/await-sync/stalled/fault lanes as
+    /// bitmasks, wake stamps and sync targets in fixed per-lane arrays —
+    /// and then advances cycles touching only the lanes that can act,
+    /// found by `trailing_zeros` iteration. Crossbar requests are
+    /// collected as per-bank requester masks and resolved through
+    /// [`Crossbar::arbitrate_masks`], the mask-native twin of the scalar
+    /// arbitration path. Statistics that accrue per cycle (instruction
+    /// retirements, bus-busy and wait cycles, active cycles) are summed in
+    /// local accumulators and flushed once at window exit, as is the
+    /// membus start-ring gc (legal per the deferred-gc membus proof).
+    ///
+    /// The window ends at `limit`, at the armed-probe deadline, or at the
+    /// first cycle where the CCB would resolve an iteration request (grant
+    /// or exhaustion): those cycles run iteration generation, daisy-chain
+    /// stalls, unmounting and serial promotion, which stay scalar.
+    fn step_dense(&mut self, mut limit: u64) -> u64 {
+        debug_assert!(self.dense_eligible());
+        let mut now = self.now;
+        if let Some(probe) = self.next_probe_at {
+            // Never run into a cycle an armed analyzer must observe.
+            if probe <= now {
+                return 0;
+            }
+            limit = limit.min(probe - now);
+        }
+        let n = self.ces.len();
+        debug_assert!(n <= MAX_CES);
+
+        // --- Pack the lane structure.
+        let mut ready_mask = 0u32;
+        let mut iter_mask = 0u32;
+        let mut sync_mask = 0u32;
+        let mut stall_mask = 0u32;
+        let mut fault_mask = 0u32;
+        let mut active_lanes = 0u32;
+        let mut until_arr = [0u64; MAX_CES];
+        let mut stall_resume = [CeBusOp::Idle; MAX_CES];
+        let mut sync_target_arr = [0u64; MAX_CES];
+        let mut next_wake = u64::MAX;
+        for (id, ce) in self.ces.iter().enumerate() {
+            if ce.role != CeRole::Worker {
+                continue; // inert unmounted lane (checked by eligibility)
+            }
+            let bit = 1u32 << id;
+            active_lanes |= bit;
+            match ce.state {
+                CeState::Ready => ready_mask |= bit,
+                CeState::AwaitIter => iter_mask |= bit,
+                CeState::AwaitSync { target } => {
+                    sync_mask |= bit;
+                    sync_target_arr[id] = target;
+                }
+                // A worker only parks in AwaitJoin on a CCB-resolution
+                // cycle, which the scalar stepper owns.
+                CeState::AwaitJoin => return 0,
+                CeState::Stalled { until, resume_op } => {
+                    stall_mask |= bit;
+                    until_arr[id] = until;
+                    stall_resume[id] = resume_op;
+                    next_wake = next_wake.min(until);
+                }
+                CeState::FaultStalled { until } => {
+                    fault_mask |= bit;
+                    until_arr[id] = until;
+                    next_wake = next_wake.min(until);
+                }
+            }
+        }
+
+        // --- Per-window accumulators, flushed once at exit.
+        let mut instrs_acc = [0u64; MAX_CES];
+        let mut busbusy_acc = [0u64; MAX_CES];
+        let mut sync_wait_acc = 0u64;
+        let mut grant_wait_acc = 0u64;
+        let mut req_line = [crate::addr::LineId(0); MAX_CES];
+        let mut req_kind = [ReqKind::Read; MAX_CES];
+        let banks = self.cfg.cache.banks;
+        let line_bytes = self.cfg.cache.line_bytes;
+        let hit_cycles = self.cfg.cache_hit_cycles;
+        let mut done = 0u64;
+
+        while done < limit {
+            // A pending iteration request resolves (grant or exhaustion)
+            // the moment the grant channel is idle: that cycle runs the
+            // scalar stepper. While the channel is busy, requesters only
+            // accrue wait cycles — exactly what the scalar arbitration
+            // would have recorded.
+            if iter_mask != 0 && self.ccb.grant_horizon(now).is_none() {
+                break;
+            }
+
+            // Interactive processors: one RNG draw per cycle, replayed in
+            // lockstep with the scalar stepper.
+            self.ip.step(now, &mut self.caches, &mut self.membus);
+
+            if iter_mask != 0 {
+                grant_wait_acc += iter_mask.count_ones() as u64;
+            }
+
+            // Which stalled/fault lanes wake this cycle.
+            let mut due = 0u32;
+            if now >= next_wake {
+                next_wake = u64::MAX;
+                let mut m = stall_mask | fault_mask;
+                while m != 0 {
+                    let id = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if until_arr[id] <= now {
+                        due |= 1 << id;
+                    } else {
+                        next_wake = next_wake.min(until_arr[id]);
+                    }
+                }
+            }
+
+            // --- Lane pass, ascending id (same order as the scalar
+            // per-CE loop: VM touch stamps and same-cycle PostSync →
+            // AwaitSync visibility depend on it). `impure` records whether
+            // any lane did more than pure waiting or in-line burst
+            // retirement; a cycle that stays pure with no crossbar request
+            // means the machine has gone quiescent, and the run loop's
+            // horizon scan can bulk-advance it far more cheaply than this
+            // kernel can step it.
+            let mut impure = false;
+            let mut requesters = 0u32;
+            let mut bank_req = [0u32; DENSE_MAX_BANKS];
+            let mut visit = ready_mask | sync_mask | due;
+            while visit != 0 {
+                let id = visit.trailing_zeros() as usize;
+                visit &= visit - 1;
+                let bit = 1u32 << id;
+
+                if due & bit != 0 {
+                    impure = true;
+                    if stall_mask & bit != 0 {
+                        // Completion handshake cycle.
+                        if stall_resume[id].is_busy() {
+                            busbusy_acc[id] += 1;
+                        }
+                        match self.resume_actions[id].take() {
+                            Some(ResumeAction::FillIFetch(line)) => {
+                                self.ces[id].ifetch_fill(line);
+                            }
+                            Some(ResumeAction::FinishOp) => {
+                                self.ces[id].cur_op = None;
+                                instrs_acc[id] += 1;
+                                self.reset_op_flags(id);
+                            }
+                            None => {}
+                        }
+                        stall_mask &= !bit;
+                    } else {
+                        fault_mask &= !bit;
+                    }
+                    self.ces[id].state = CeState::Ready;
+                    ready_mask |= bit;
+                    continue;
+                }
+
+                if sync_mask & bit != 0 {
+                    if self.ccb.sync_reached(sync_target_arr[id]) {
+                        impure = true;
+                        self.ces[id].state = CeState::Ready;
+                        sync_mask &= !bit;
+                        ready_mask |= bit;
+                    } else {
+                        sync_wait_acc += 1;
+                    }
+                    continue;
+                }
+
+                // Ready lane. Pending instruction fetch first.
+                if let Some(line) = self.ces[id].pending_ifetch {
+                    requesters |= bit;
+                    req_line[id] = line;
+                    req_kind[id] = ReqKind::IFetch;
+                    bank_req[self.caches.bank_of(line)] |= bit;
+                    continue;
+                }
+
+                // Continue a compute burst: one instruction per cycle.
+                if self.ces[id].compute_left > 0 {
+                    if let Some(line) = self.ces[id].ifetch_step() {
+                        impure = true;
+                        self.ces[id].pending_ifetch = Some(line);
+                        requesters |= bit;
+                        req_line[id] = line;
+                        req_kind[id] = ReqKind::IFetch;
+                        bank_req[self.caches.bank_of(line)] |= bit;
+                    } else {
+                        self.ces[id].compute_left -= 1;
+                        instrs_acc[id] += 1;
+                    }
+                    continue;
+                }
+
+                // Need a current op.
+                if self.ces[id].cur_op.is_none() {
+                    impure = true;
+                    if let Some(op) = self.ces[id].ops.pop_front() {
+                        self.ces[id].cur_op = Some(op);
+                        self.reset_op_flags(id);
+                    } else {
+                        // Worker iteration boundary: request the next one.
+                        // (Inactive lanes never enter the masks.)
+                        self.ccb.complete_iter();
+                        self.ces[id].stats.iters_completed += 1;
+                        self.ces[id].state = CeState::AwaitIter;
+                        ready_mask &= !bit;
+                        iter_mask |= bit;
+                        continue;
+                    }
+                }
+
+                let Some(op) = self.ces[id].cur_op else {
+                    continue;
+                };
+                match op {
+                    Op::Compute(c) => {
+                        impure = true;
+                        if let Some(line) = self.ces[id].ifetch_step() {
+                            self.ces[id].pending_ifetch = Some(line);
+                            requesters |= bit;
+                            req_line[id] = line;
+                            req_kind[id] = ReqKind::IFetch;
+                            bank_req[self.caches.bank_of(line)] |= bit;
+                            continue;
+                        }
+                        instrs_acc[id] += 1;
+                        self.ces[id].compute_left = c.saturating_sub(1);
+                        self.ces[id].cur_op = None;
+                    }
+                    Op::Load(a) | Op::Store(a) => {
+                        let kind = if matches!(op, Op::Store(_)) {
+                            ReqKind::Write
+                        } else {
+                            ReqKind::Read
+                        };
+                        if !self.op_fetched[id] {
+                            impure = true;
+                            self.op_fetched[id] = true;
+                            if let Some(line) = self.ces[id].ifetch_step() {
+                                self.ces[id].pending_ifetch = Some(line);
+                                requesters |= bit;
+                                req_line[id] = line;
+                                req_kind[id] = ReqKind::IFetch;
+                                bank_req[self.caches.bank_of(line)] |= bit;
+                                continue;
+                            }
+                        }
+                        if !self.vm_checked[id] {
+                            impure = true;
+                            self.vm_checked[id] = true;
+                            let mode = if a.asid() == KERNEL_ASID {
+                                FaultMode::System
+                            } else {
+                                FaultMode::User
+                            };
+                            if !self.vm.touch(id, a.page(), mode) {
+                                self.fault_seq += 1;
+                                if self.fault_seq.is_multiple_of(4) {
+                                    self.vm.charge_faults(id, 0, 1);
+                                }
+                                let until = now + self.cfg.fault_stall_cycles;
+                                self.ces[id].state = CeState::FaultStalled { until };
+                                self.ces[id].stats.fault_stall_cycles +=
+                                    self.cfg.fault_stall_cycles;
+                                ready_mask &= !bit;
+                                fault_mask |= bit;
+                                until_arr[id] = until;
+                                next_wake = next_wake.min(until);
+                                continue;
+                            }
+                        }
+                        let line = a.line(line_bytes);
+                        requesters |= bit;
+                        req_line[id] = line;
+                        req_kind[id] = kind;
+                        bank_req[self.caches.bank_of(line)] |= bit;
+                    }
+                    Op::AwaitSync(t) => {
+                        impure = true;
+                        self.ces[id].cur_op = None;
+                        if self.ccb.sync_reached(t) {
+                            // Proceeds next cycle; the check costs this one.
+                        } else {
+                            self.ces[id].state = CeState::AwaitSync { target: t };
+                            ready_mask &= !bit;
+                            sync_mask |= bit;
+                            sync_target_arr[id] = t;
+                        }
+                    }
+                    Op::PostSync(v) => {
+                        impure = true;
+                        self.ccb.post_sync(v);
+                        instrs_acc[id] += 1;
+                        self.ces[id].cur_op = None;
+                    }
+                }
+            }
+
+            // --- Crossbar arbitration and cache access, mask-native.
+            let mut won = 0u32;
+            if requesters != 0 {
+                won = self
+                    .crossbar
+                    .arbitrate_masks(now, &bank_req[..banks], hit_cycles);
+                let mut m = requesters;
+                while m != 0 {
+                    let id = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let bit = 1u32 << id;
+                    // The request occupies the CE bus whether or not it wins.
+                    busbusy_acc[id] += 1;
+                    if won & bit == 0 {
+                        continue; // retry next cycle
+                    }
+                    let line = req_line[id];
+                    let kind = req_kind[id];
+                    let outcome = self.caches.ce_access(line, kind.is_write());
+                    let mut fetch_complete: Option<Cycle> = None;
+                    for txn in &outcome.bus {
+                        let op = match txn {
+                            BusTxn::Fetch => MemBusOp::Fetch,
+                            BusTxn::WriteBack => MemBusOp::WriteBack,
+                            BusTxn::Coherence => MemBusOp::Coherence,
+                            BusTxn::IpFetch => MemBusOp::IpTraffic,
+                        };
+                        let ticket = self.membus.schedule(now, op, line);
+                        if *txn == BusTxn::Fetch {
+                            fetch_complete = Some(ticket.complete);
+                        }
+                    }
+                    if outcome.hit {
+                        match kind {
+                            ReqKind::IFetch => self.ces[id].ifetch_fill(line),
+                            ReqKind::Read | ReqKind::Write => {
+                                self.ces[id].cur_op = None;
+                                instrs_acc[id] += 1;
+                                self.reset_op_flags(id);
+                            }
+                        }
+                    } else {
+                        let until = fetch_complete.unwrap_or(now + self.cfg.mem_latency_cycles);
+                        self.ces[id].stats.miss_stall_cycles += until.saturating_sub(now);
+                        self.ces[id].state = CeState::Stalled {
+                            until,
+                            resume_op: CeBusOp::MissWait,
+                        };
+                        self.resume_actions[id] = Some(match kind {
+                            ReqKind::IFetch => ResumeAction::FillIFetch(line),
+                            ReqKind::Read | ReqKind::Write => ResumeAction::FinishOp,
+                        });
+                        ready_mask &= !bit;
+                        stall_mask |= bit;
+                        until_arr[id] = until;
+                        stall_resume[id] = CeBusOp::MissWait;
+                        next_wake = next_wake.min(until);
+                    }
+                }
+            }
+
+            now += 1;
+            done += 1;
+
+            // Quiescent cycle: nothing beyond pure waits, in-line burst
+            // retirement, or all-denied retry requests happened (a grant
+            // mutates the caches, so `won != 0` keeps the kernel going).
+            // Hand back to the run loop so the closed-form fast-forward
+            // engine can take the stretch from here.
+            if won == 0 && !impure {
+                break;
+            }
+        }
+
+        if done == 0 {
+            return 0;
+        }
+        // --- Window-exit flush: the per-cycle effects accrued in closed
+        // form. The start-ring gc is deferred to the window end (the same
+        // legality argument as `advance_bulk`'s).
+        self.membus.gc(now - 1);
+        if sync_wait_acc > 0 {
+            self.ccb.note_sync_waits(sync_wait_acc);
+        }
+        if grant_wait_acc > 0 {
+            self.ccb.note_grant_waits(grant_wait_acc);
+        }
+        for id in 0..n {
+            let stats = &mut self.ces[id].stats;
+            stats.instrs += instrs_acc[id];
+            stats.bus_busy_cycles += busbusy_acc[id];
+        }
+        let mut m = active_lanes;
+        while m != 0 {
+            let id = m.trailing_zeros() as usize;
+            m &= m - 1;
+            // Roles only change on the scalar CCB-resolution cycles, so
+            // every worker was CCB-active for the whole window.
+            self.ces[id].stats.active_cycles += done;
+        }
+        self.now = now;
+        self.cycles_total += done;
+        self.cycles_dense += done;
+        done
     }
 
     /// Render every architecturally observable piece of machine state into

@@ -147,7 +147,14 @@ pub struct CacheSystem {
     geom: CacheGeometry,
     banks: Vec<SetAssocCache>,
     ipc: SetAssocCache,
-    ipc_sets: u64,
+    /// Precomputed index arithmetic: the validated geometry is all powers
+    /// of two, so bank/set routing is mask-and-shift instead of the
+    /// div/mod chains `CacheGeometry::{bank_of, set_of}` would recompute
+    /// on every access (several times per simulated cycle).
+    bank_mask: u64,
+    bank_shift: u32,
+    set_mask: u64,
+    ipc_mask: u64,
     stats: SystemStats,
     /// Coherence-rule violations observed after accesses, drained by the
     /// invariant auditor once per cycle. Empty (and allocation-free) unless
@@ -175,7 +182,10 @@ impl CacheSystem {
             geom,
             banks,
             ipc: SetAssocCache::new(ipc_sets as usize, ipc_assoc),
-            ipc_sets,
+            bank_mask: geom.banks as u64 - 1,
+            bank_shift: (geom.banks as u64).trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            ipc_mask: ipc_sets - 1,
             stats: SystemStats::default(),
             #[cfg(feature = "audit")]
             audit_log: Vec::new(),
@@ -188,16 +198,19 @@ impl CacheSystem {
     }
 
     /// Bank index serving `line` (what the crossbar routes on).
+    #[inline]
     pub fn bank_of(&self, line: LineId) -> usize {
-        self.geom.bank_of(line.0)
+        (line.0 & self.bank_mask) as usize
     }
 
+    #[inline]
     fn cpc_set(&self, line: LineId) -> usize {
-        self.geom.set_of(line.0)
+        ((line.0 >> self.bank_shift) & self.set_mask) as usize
     }
 
+    #[inline]
     fn ipc_set(&self, line: LineId) -> usize {
-        (line.0 % self.ipc_sets) as usize
+        (line.0 & self.ipc_mask) as usize
     }
 
     /// Aggregate statistics.

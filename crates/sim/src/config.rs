@@ -87,8 +87,15 @@ impl CacheGeometry {
     }
 
     /// Bank servicing a given line (low-order line-interleaving).
+    /// `banks` is a validated power of two, so the modulo is a mask.
+    #[inline]
     pub fn bank_of(&self, line: u64) -> usize {
-        (line % self.banks as u64) as usize
+        let b = self.banks as u64;
+        if b.is_power_of_two() {
+            (line & (b - 1)) as usize
+        } else {
+            (line % b) as usize
+        }
     }
 
     /// Set index within the bank for a given line.
@@ -173,6 +180,14 @@ pub struct MachineConfig {
     /// the `audit` feature ignore it and always step every cycle, keeping
     /// the auditor an independent per-cycle oracle.
     pub fast_forward: bool,
+    /// Dense-window batch stepping: when the horizon scan finds a mostly
+    /// active loop window that fast-forward cannot skip, `Cluster::run`
+    /// hands it to a fused structure-of-arrays kernel that steps the same
+    /// cycles over lane-packed CE state. Bit-identical to per-cycle
+    /// stepping (a pure optimization), so it stays on by default; the knob
+    /// exists so differential tests can compare both paths. Builds with
+    /// the `audit` feature ignore it, exactly like [`Self::fast_forward`].
+    pub dense_stepping: bool,
 }
 
 impl MachineConfig {
@@ -208,6 +223,7 @@ impl MachineConfig {
             phys_mem_bytes: 32 * 1024 * 1024,
             ns_per_cycle: 170,
             fast_forward: true,
+            dense_stepping: true,
         }
     }
 
@@ -243,6 +259,7 @@ impl MachineConfig {
             phys_mem_bytes: 1024 * 1024,
             ns_per_cycle: 170,
             fast_forward: true,
+            dense_stepping: true,
         }
     }
 
@@ -395,6 +412,15 @@ mod tests {
         assert!(MachineConfig::tiny().fast_forward);
         let mut off = MachineConfig::fx8();
         off.fast_forward = false;
+        assert!(off.validate().is_ok(), "the knob is never a validity error");
+    }
+
+    #[test]
+    fn dense_stepping_defaults_on() {
+        assert!(MachineConfig::fx8().dense_stepping);
+        assert!(MachineConfig::tiny().dense_stepping);
+        let mut off = MachineConfig::fx8();
+        off.dense_stepping = false;
         assert!(off.validate().is_ok(), "the knob is never a validity error");
     }
 

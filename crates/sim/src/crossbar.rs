@@ -33,21 +33,72 @@ pub struct Crossbar {
     bank_busy_until: Vec<Cycle>,
     /// Per-bank round-robin rotor (last winner).
     rotor: Vec<usize>,
+    /// Per-bank requester bitmask, rebuilt each arbitration cycle (owned
+    /// buffer so the per-cycle path stays allocation-free).
+    req_mask: Vec<u32>,
+    /// Priority permutation for the fixed (rotor-independent) disciplines,
+    /// materialized once; empty for `RoundRobin`, whose order rotates.
+    prio: Vec<u8>,
     stats: CrossbarStats,
 }
 
 impl Crossbar {
     /// Build an arbiter for `n_ces` CEs and `banks` cache banks.
     pub fn new(n_ces: usize, banks: usize, arb: Arbitration) -> Self {
+        let prio = match arb {
+            Arbitration::RoundRobin => Vec::new(),
+            fixed => fixed.order(n_ces, 0).into_iter().map(|c| c as u8).collect(),
+        };
         Crossbar {
             arb,
             n_ces,
             bank_busy_until: vec![0; banks],
             rotor: vec![0; banks],
+            req_mask: vec![0; banks],
+            prio,
             stats: CrossbarStats {
                 denials_by_ce: vec![0; n_ces],
                 ..Default::default()
             },
+        }
+    }
+
+    /// Highest-priority requester in `mask` under the current discipline.
+    /// `mask` must be nonzero.
+    #[inline]
+    fn winner_of(&self, mask: u32, rotor: usize) -> usize {
+        // A lone requester wins under every discipline; in the dense loop
+        // regime eight lanes spread over sixteen banks, so most nonzero
+        // masks are a single bit and the policy scan below never runs.
+        if mask & (mask - 1) == 0 {
+            return mask.trailing_zeros() as usize;
+        }
+        match self.arb {
+            Arbitration::FixedLowFirst => mask.trailing_zeros() as usize,
+            Arbitration::RoundRobin => {
+                let n = self.n_ces;
+                (0..n)
+                    .map(|k| (rotor + 1 + k) % n)
+                    .find(|&ce| mask & (1 << ce) != 0)
+                    .expect("nonzero mask has a winner")
+            }
+            _ => self
+                .prio
+                .iter()
+                .map(|&ce| ce as usize)
+                .find(|&ce| mask & (1 << ce) != 0)
+                .expect("nonzero mask has a winner"),
+        }
+    }
+
+    /// Charge a denial to every CE set in `mask`.
+    #[inline]
+    fn deny_mask(&mut self, mut mask: u32) {
+        self.stats.denials += mask.count_ones() as u64;
+        while mask != 0 {
+            let ce = mask.trailing_zeros() as usize;
+            self.stats.denials_by_ce[ce] += 1;
+            mask &= mask - 1;
         }
     }
 
@@ -84,34 +135,67 @@ impl Crossbar {
         debug_assert_eq!(requests.len(), self.n_ces);
         debug_assert_eq!(granted.len(), self.n_ces);
         granted.fill(false);
-        for bank in 0..self.bank_busy_until.len() {
-            if self.bank_busy_until[bank] > now {
-                // Bank still servicing: everyone aiming at it is denied.
-                for (ce, req) in requests.iter().enumerate() {
-                    if *req == Some(bank) {
-                        self.stats.denials += 1;
-                        self.stats.denials_by_ce[ce] += 1;
-                    }
-                }
-                continue;
-            }
-            let winner: Option<CeId> = self
-                .arb
-                .order_iter(self.n_ces, self.rotor[bank])
-                .find(|&ce| requests[ce] == Some(bank));
-            if let Some(w) = winner {
-                granted[w] = true;
-                self.stats.grants += 1;
-                self.bank_busy_until[bank] = now + service_cycles;
-                self.rotor[bank] = w;
-                for (ce, req) in requests.iter().enumerate() {
-                    if ce != w && *req == Some(bank) {
-                        self.stats.denials += 1;
-                        self.stats.denials_by_ce[ce] += 1;
-                    }
+        // One pass over the CEs builds per-bank requester bitmasks; the
+        // per-bank work below is then mask arithmetic instead of rescanning
+        // the request slice twice per bank.
+        let banks = self.bank_busy_until.len();
+        self.req_mask[..banks].fill(0);
+        for (ce, req) in requests.iter().enumerate() {
+            if let Some(b) = *req {
+                if b < banks {
+                    self.req_mask[b] |= 1 << ce;
                 }
             }
         }
+        let mut won = self.arbitrate_staged(now, service_cycles);
+        while won != 0 {
+            let ce = won.trailing_zeros() as usize;
+            granted[ce] = true;
+            won &= won - 1;
+        }
+    }
+
+    /// Arbitrate one cycle from per-bank requester bitmasks, returning the
+    /// granted CEs as a bitmask. This is the dense stepper's path: the SoA
+    /// kernel already keeps its requests lane-packed, so the bank conflict
+    /// resolution never leaves mask arithmetic. Counter movement is
+    /// identical to [`Crossbar::arbitrate_into`] with the equivalent
+    /// request slice — both funnel into the same staged resolver.
+    pub(crate) fn arbitrate_masks(
+        &mut self,
+        now: Cycle,
+        bank_req: &[u32],
+        service_cycles: u64,
+    ) -> u32 {
+        let banks = self.bank_busy_until.len();
+        debug_assert!(bank_req.len() >= banks);
+        self.req_mask[..banks].copy_from_slice(&bank_req[..banks]);
+        self.arbitrate_staged(now, service_cycles)
+    }
+
+    /// Resolve one cycle's conflicts over the staged `req_mask` buffers.
+    /// Returns the winners as a CE bitmask.
+    fn arbitrate_staged(&mut self, now: Cycle, service_cycles: u64) -> u32 {
+        let banks = self.bank_busy_until.len();
+        let mut won = 0u32;
+        for bank in 0..banks {
+            let mask = self.req_mask[bank];
+            if mask == 0 {
+                continue;
+            }
+            if self.bank_busy_until[bank] > now {
+                // Bank still servicing: everyone aiming at it is denied.
+                self.deny_mask(mask);
+                continue;
+            }
+            let w: CeId = self.winner_of(mask, self.rotor[bank]);
+            won |= 1 << w;
+            self.stats.grants += 1;
+            self.bank_busy_until[bank] = now + service_cycles;
+            self.rotor[bank] = w;
+            self.deny_mask(mask & !(1 << w));
+        }
+        won
     }
 
     /// The cycle at which `bank` can next grant a request; a value at or

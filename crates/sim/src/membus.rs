@@ -113,6 +113,13 @@ impl MemBusSystem {
     /// slot for it. Occupied cycles form a contiguous run from the
     /// insertion point, so one binary search plus a forward walk finds it.
     fn next_free_start(&self, mut t: Cycle) -> (Cycle, usize) {
+        // Fast path: `t` lies past every recorded start (the common case
+        // for a request landing on an idle bus), so the insertion slot is
+        // the back of the ring and no binary search is needed.
+        match self.starts.back() {
+            Some(&(c, _)) if c >= t => {}
+            _ => return (t, self.starts.len()),
+        }
         let mut slot = self.starts.partition_point(|&(c, _)| c < t);
         while self.starts.get(slot).is_some_and(|&(c, _)| c == t) {
             t += 1;

@@ -57,6 +57,18 @@ impl ProbeWord {
         self.active_count() >= 2
     }
 
+    /// Bitmask of CE lanes whose bus carries a non-idle opcode this cycle.
+    /// The fixed-width loop unrolls; reducers then walk only the set bits
+    /// instead of testing all eight lanes per record.
+    #[inline]
+    pub fn busy_ce_mask(&self) -> u8 {
+        let mut m = 0u8;
+        for (j, op) in self.ce_ops.iter().enumerate() {
+            m |= (op.is_busy() as u8) << j;
+        }
+        m
+    }
+
     /// Structural well-formedness for a cluster of `n_ces` CEs: no activity
     /// lines or CE-bus opcodes above the cluster width. The invariant
     /// auditor applies this to every stepped cycle; tests may use it on
@@ -109,5 +121,14 @@ mod tests {
         assert!(w.is_concurrent());
         w.active_mask = 0b0000_0100;
         assert!(!w.is_concurrent());
+    }
+
+    #[test]
+    fn busy_ce_mask_marks_non_idle_lanes() {
+        let mut w = ProbeWord::idle(0);
+        assert_eq!(w.busy_ce_mask(), 0);
+        w.ce_ops[0] = CeBusOp::Read;
+        w.ce_ops[5] = CeBusOp::MissWait;
+        assert_eq!(w.busy_ce_mask(), 0b0010_0001);
     }
 }

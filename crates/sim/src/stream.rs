@@ -36,6 +36,20 @@ pub enum Op {
     PostSync(u64),
 }
 
+impl Op {
+    /// Rewrite the address of a memory operation in place. Trace-template
+    /// replay (the workload layer's decoded-iteration cache) funnels every
+    /// address patch through here so the panic on a non-memory slot guards
+    /// all patch sites at once.
+    #[inline]
+    pub fn patch_addr(&mut self, a: VAddr) {
+        match self {
+            Op::Load(x) | Op::Store(x) => *x = a,
+            other => unreachable!("address patch hit non-memory op {other:?}"),
+        }
+    }
+}
+
 /// Where a stream's code lives, for instruction-cache modeling.
 ///
 /// The CE walks an instruction-fetch cursor cyclically through
@@ -275,6 +289,16 @@ mod tests {
             ..r
         };
         assert_eq!(z.fetch_steps_in_line(0, 32), 0);
+    }
+
+    #[test]
+    fn patch_addr_rewrites_loads_and_stores() {
+        let mut op = Op::Load(VAddr::new(1, 0));
+        op.patch_addr(VAddr::new(1, 64));
+        assert_eq!(op, Op::Load(VAddr::new(1, 64)));
+        let mut st = Op::Store(VAddr::new(1, 0));
+        st.patch_addr(VAddr::new(1, 128));
+        assert_eq!(st, Op::Store(VAddr::new(1, 128)));
     }
 
     #[test]

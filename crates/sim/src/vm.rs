@@ -11,6 +11,36 @@ use crate::addr::PageId;
 use crate::CeId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for `PageId` keys. Page numbers are small dense
+/// integers; SipHash dominates the cost of the residency check that runs
+/// once per memory operand, and none of its DoS resistance is needed for
+/// simulator-internal keys. Map iteration order is never observable:
+/// eviction picks the minimum stamp and stamps are unique.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type PageMap = HashMap<PageId, u64, BuildHasherDefault<PageHasher>>;
 
 /// Per-CE fault counters, split by mode as Concentrix logged them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,8 +72,10 @@ pub enum FaultMode {
 pub struct Vm {
     frames: usize,
     /// Resident pages with their last-touch stamps.
-    resident: HashMap<PageId, u64>,
+    resident: PageMap,
     /// Lazy min-heap of (Reverse(stamp), page) candidates for eviction.
+    /// Re-touches update only the map; eviction re-heaps entries whose
+    /// stamp has moved on, so the hot resident-touch path never pushes.
     lru: BinaryHeap<(std::cmp::Reverse<u64>, PageId)>,
     stamp: u64,
     faults: Vec<FaultCounts>,
@@ -56,7 +88,7 @@ impl Vm {
         assert!(frames > 0);
         Vm {
             frames: frames as usize,
-            resident: HashMap::with_capacity(frames as usize),
+            resident: PageMap::with_capacity_and_hasher(frames as usize, Default::default()),
             lru: BinaryHeap::new(),
             stamp: 0,
             faults: vec![FaultCounts::default(); n_ces],
@@ -105,9 +137,11 @@ impl Vm {
     pub fn touch(&mut self, ce: CeId, page: PageId, mode: FaultMode) -> bool {
         let stamp = self.next_stamp();
         if let Some(s) = self.resident.get_mut(&page) {
+            // Lazy LRU: record the new stamp in the map only. The heap
+            // entry goes stale; eviction re-heaps it at the live stamp
+            // when (and only when) it surfaces, so the choice of victim —
+            // the minimum live stamp — is unchanged.
             *s = stamp;
-            self.lru.push((std::cmp::Reverse(stamp), page));
-            self.maybe_compact();
             return true;
         }
         match mode {
@@ -127,9 +161,10 @@ impl Vm {
         self.maybe_compact();
     }
 
-    /// The lazy-deletion heap accumulates one stale entry per re-touch;
-    /// rebuild it from the live map when it outgrows the frame count so
-    /// memory stays bounded over arbitrarily long simulations.
+    /// Safety net: with lazy re-heaping the heap tracks the resident set
+    /// one-to-one (plus transients inside an eviction), but rebuild it from
+    /// the live map if it ever outgrows the frame count so memory stays
+    /// bounded no matter what.
     fn maybe_compact(&mut self) {
         if self.lru.len() > 4 * self.frames + 64 {
             self.lru.clear();
@@ -142,12 +177,20 @@ impl Vm {
     }
 
     fn evict_lru(&mut self) {
-        // Pop stale heap entries until one matches the live stamp.
+        // Pop entries until one matches the live stamp. A popped entry
+        // whose page was re-touched since it was pushed re-enters the heap
+        // at its live stamp: every resident page keeps an entry at or
+        // below its live stamp, so the first exact match is the page with
+        // the minimum live stamp — identical to eager per-touch pushes.
         while let Some((std::cmp::Reverse(stamp), page)) = self.lru.pop() {
-            if self.resident.get(&page) == Some(&stamp) {
-                self.resident.remove(&page);
-                self.evictions += 1;
-                return;
+            match self.resident.get(&page) {
+                Some(&live) if live == stamp => {
+                    self.resident.remove(&page);
+                    self.evictions += 1;
+                    return;
+                }
+                Some(&live) => self.lru.push((std::cmp::Reverse(live), page)),
+                None => {}
             }
         }
         // Heap exhausted but map non-empty (stale entries dropped): rebuild.

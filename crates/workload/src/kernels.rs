@@ -111,6 +111,7 @@ impl LoopKernel {
         Box::new(KernelLoopBody {
             spec: self.clone(),
             asid,
+            templates: std::collections::HashMap::new(),
         })
     }
 
@@ -197,10 +198,36 @@ fn iter_hash(iter: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A decoded iteration body, cached by shape. After variance scaling, the
+/// op sequence of an iteration is fully determined by the scaled
+/// `(compute, panel_refs)` pair; only the streaming addresses (linear in
+/// the iteration number) and the sync targets depend on `iter` itself, so
+/// they are recorded as patch positions and rewritten at replay.
+struct IterTemplate {
+    /// The decoded op trace, with some other iteration's stream addresses
+    /// and sync targets in the patched slots (always overwritten).
+    ops: Vec<Op>,
+    /// `(position, j)`: the Load/Store at `position` targets stream slot
+    /// `j`, i.e. `stream_base(iter) + j * LINE_BYTES`.
+    stream: Vec<(u32, u32)>,
+    /// Positions holding `Op::AwaitSync(iter)`.
+    awaits: Vec<u32>,
+    /// Positions holding `Op::PostSync(iter + 1)`.
+    posts: Vec<u32>,
+}
+
+/// Distinct body shapes cached per loop body before falling back to
+/// re-decoding: the variance hash has at most 2001 classes, and real
+/// kernels collapse to a few dozen `(compute, panel_refs)` pairs, so the
+/// cap is rarely reached — it only bounds worst-case memory.
+const TEMPLATE_CACHE_CAP: usize = 256;
+
 /// A [`LoopBody`] realized from a [`LoopKernel`].
 struct KernelLoopBody {
     spec: LoopKernel,
     asid: Asid,
+    /// Decoded access-stream cache, keyed by scaled `(compute, panel_refs)`.
+    templates: std::collections::HashMap<(u32, u32), IterTemplate>,
 }
 
 impl LoopBody for KernelLoopBody {
@@ -216,12 +243,43 @@ impl LoopBody for KernelLoopBody {
         let compute = ((s.compute as f64) * scale).max(1.0) as u32;
         let panel_refs = ((s.panel_refs as f64) * scale).round() as u32;
 
+        let n_stream = (s.stream_lines + s.store_lines) as u64;
+        let stream_base = STREAM_BASE + iter * n_stream * LINE_BYTES;
+        let start = out.len();
+
+        // Fast path: replay the decoded trace and patch the
+        // iteration-dependent slots. Byte-identical to re-decoding.
+        if let Some(t) = self.templates.get(&(compute, panel_refs)) {
+            out.extend_from_slice(&t.ops);
+            for &(pos, j) in &t.stream {
+                let a = VAddr::new(self.asid, stream_base + j as u64 * LINE_BYTES);
+                out[start + pos as usize].patch_addr(a);
+            }
+            for &p in &t.awaits {
+                out[start + p as usize] = Op::AwaitSync(iter);
+            }
+            for &p in &t.posts {
+                out[start + p as usize] = Op::PostSync(iter + 1);
+            }
+            return;
+        }
+
+        // Decode path, recording the iteration-dependent positions.
+        let dependence = s.dependence;
+        let stream_lines = s.stream_lines as u64;
+        let panel_lines = s.panel_lines.max(1);
+        let asid = self.asid;
+        let mut stream_rec: Vec<(u32, u32)> = Vec::new();
+        let mut awaits: Vec<u32> = Vec::new();
+        let mut posts: Vec<u32> = Vec::new();
+
         // Dependent section first: wait for the previous iteration.
-        if let Some(frac) = s.dependence {
+        if let Some(frac) = dependence {
             let pre = ((compute as f64) * (1.0 - frac)) as u32;
             if pre > 0 {
                 out.push(Op::Compute(pre));
             }
+            awaits.push((out.len() - start) as u32);
             out.push(Op::AwaitSync(iter));
         }
 
@@ -233,38 +291,38 @@ impl LoopBody for KernelLoopBody {
         // for the sharp 8-to-2 transition collapse of § 4.3) yet occur
         // often enough that captured windows of a streaming kernel see
         // its misses.
-        let n_stream = (s.stream_lines + s.store_lines) as u64;
         let total_refs = panel_refs as u64 + n_stream;
         let burst = (compute as u64 / (total_refs + 1)).max(1) as u32;
-        let panel_bytes = s.panel_lines.max(1) * LINE_BYTES;
-        let stream_base = STREAM_BASE + iter * n_stream * LINE_BYTES;
+        let panel_bytes = panel_lines * LINE_BYTES;
         let mut next_stream = 0u64;
         let mut emitted_compute = 0u32;
         let third = (panel_refs / 3).max(1);
         let per_burst = n_stream.div_ceil(3).max(1);
-        let emit_stream_burst = |next_stream: &mut u64, out: &mut Vec<Op>| {
-            for _ in 0..per_burst {
-                if *next_stream >= n_stream {
-                    break;
+        let emit_stream_burst =
+            |next_stream: &mut u64, out: &mut Vec<Op>, rec: &mut Vec<(u32, u32)>| {
+                for _ in 0..per_burst {
+                    if *next_stream >= n_stream {
+                        break;
+                    }
+                    rec.push(((out.len() - start) as u32, *next_stream as u32));
+                    let a = VAddr::new(asid, stream_base + *next_stream * LINE_BYTES);
+                    if *next_stream < stream_lines {
+                        out.push(Op::Load(a));
+                    } else {
+                        out.push(Op::Store(a));
+                    }
+                    *next_stream += 1;
                 }
-                let a = VAddr::new(self.asid, stream_base + *next_stream * LINE_BYTES);
-                if *next_stream < s.stream_lines as u64 {
-                    out.push(Op::Load(a));
-                } else {
-                    out.push(Op::Store(a));
-                }
-                *next_stream += 1;
-            }
-        };
+            };
 
         for r in 0..panel_refs {
             // Walk the panel with the same deterministic stride every
             // iteration: a vectorized body executes an identical reference
             // pattern each trip. The CEs' staggered CCB start times
             // de-conflict the banks.
-            let line = (r as u64 * 7) % s.panel_lines.max(1);
+            let line = (r as u64 * 7) % panel_lines;
             out.push(Op::Load(VAddr::new(
-                self.asid,
+                asid,
                 PANEL_BASE + (line * LINE_BYTES) % panel_bytes,
             )));
             if emitted_compute < compute {
@@ -272,19 +330,32 @@ impl LoopBody for KernelLoopBody {
                 emitted_compute += burst;
             }
             if (r + 1) % third == 0 {
-                emit_stream_burst(&mut next_stream, out);
+                emit_stream_burst(&mut next_stream, out, &mut stream_rec);
             }
         }
         while next_stream < n_stream {
-            emit_stream_burst(&mut next_stream, out);
+            emit_stream_burst(&mut next_stream, out, &mut stream_rec);
         }
         if emitted_compute < compute {
             out.push(Op::Compute(compute - emitted_compute));
         }
 
         // Release the next iteration.
-        if s.dependence.is_some() {
+        if dependence.is_some() {
+            posts.push((out.len() - start) as u32);
             out.push(Op::PostSync(iter + 1));
+        }
+
+        if self.templates.len() < TEMPLATE_CACHE_CAP {
+            self.templates.insert(
+                (compute, panel_refs),
+                IterTemplate {
+                    ops: out[start..].to_vec(),
+                    stream: stream_rec,
+                    awaits,
+                    posts,
+                },
+            );
         }
     }
 }
