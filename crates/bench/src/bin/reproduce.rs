@@ -1,54 +1,192 @@
 //! Regenerate every table and figure of the thesis's evaluation.
 //!
 //! ```text
-//! reproduce [--quick] [--out DIR] [IDS...]
+//! reproduce run     [--quick] [--audit] [--out DIR] [IDS...]
+//! reproduce bench   [--as-baseline | --check-regression]
+//! reproduce audit   [--quick]
+//! reproduce metrics [--quick] [--json FILE]
+//! reproduce trace   [--quick] [--out FILE] [--event-capacity N]
 //! ```
 //!
-//! With no IDS, everything is regenerated. IDS are case-insensitive table
-//! and figure names: `table1 table2 table3 table4 tableA1 fig3 .. fig14
-//! figA1 .. figA5 figB1 .. figB10 comparison`.
+//! * `run` — run the study and print tables/figures. With no IDS,
+//!   everything is regenerated; IDS are case-insensitive names (`table1
+//!   table2 table3 table4 tableA1 fig3 .. fig14 figA1 .. figA5 figB1 ..
+//!   figB10 comparison observability`). `--quick` runs a scaled-down study
+//!   (seconds instead of minutes); `--audit` prints the invariant-audit
+//!   report and exits nonzero on violations; `--out DIR` additionally
+//!   writes `report.txt`, `comparison.md` and `study.json` under DIR.
+//! * `bench` — measure simulation throughput and update
+//!   `BENCH_throughput.json` at the repo root (`current` key;
+//!   `--as-baseline` rewrites `baseline` too; a binary built with
+//!   `--features audit` records under the `audited` key instead).
+//!   `--check-regression` measures but does **not** rewrite the file: it
+//!   exits nonzero if a mounted-state rate fell below its tolerance. CI's
+//!   `bench-smoke` job runs this to catch throughput regressions.
+//! * `audit` — run the study with the auditor's report only (no tables);
+//!   meaningful when built with `--features audit`.
+//! * `metrics` — run the study with the `fx8-trace` metrics registry armed
+//!   and print per-session/per-engine counters; `--json FILE` writes the
+//!   full [`fx8_core::observability::MetricsReport`].
+//! * `trace` — run the study with the event trace armed and export Chrome
+//!   `trace_event` JSON (Perfetto-loadable), default `study.trace.json`.
 //!
-//! `--quick` runs a scaled-down study (seconds instead of minutes);
-//! `--out DIR` additionally writes `report.txt`, `comparison.md` and
-//! `study.json` under DIR.
+//! Invalid configurations (e.g. `--event-capacity 0`) exit with code 2 and
+//! a one-line diagnostic naming the offending field.
 //!
-//! `--bench-json` skips the tables and instead measures simulation
-//! throughput, updating `BENCH_throughput.json` at the repo root
-//! (`current` key; `--as-baseline` rewrites `baseline` too; a binary built
-//! with `--features audit` records under the `audited` key instead).
-//!
-//! `--bench-json --check-regression` measures but does **not** rewrite the
-//! file: it exits nonzero if the fresh `loop_cycles_per_sec` falls more
-//! than 15% below the committed `current` entry. CI's `bench-smoke` job
-//! runs this to catch throughput regressions before they merge.
-//!
-//! `--audit` prints the study's invariant-audit report after the run and
-//! exits nonzero if any violation was recorded. Meaningful only when built
-//! with `--features audit`; otherwise the report is vacuous and a warning
-//! says so.
+//! The pre-subcommand spelling (`reproduce --quick --audit`, `reproduce
+//! --bench-json --check-regression`, ...) still works as a hidden alias
+//! for one release and prints a deprecation note on stderr.
 
 use fx8_bench::throughput;
-use fx8_core::study::{Study, StudyConfig};
+use fx8_core::observability::StudyObservability;
+use fx8_core::report::StudyReport;
+use fx8_core::study::{Study, StudyConfig, StudyConfigBuilder};
 use fx8_core::{figures, report, tables};
+use fx8_sim::{ConfigError, TraceConfig};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: reproduce [--quick] [--audit] [--out DIR] [--bench-json [--as-baseline | --check-regression]] [IDS...]\n\
-     IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 figB1..figB10 comparison"
+    "usage: reproduce <run|bench|audit|metrics|trace> [options]\n\
+     \n\
+     reproduce run     [--quick] [--audit] [--out DIR] [IDS...]\n\
+     reproduce bench   [--as-baseline | --check-regression]\n\
+     reproduce audit   [--quick]\n\
+     reproduce metrics [--quick] [--json FILE]\n\
+     reproduce trace   [--quick] [--out FILE] [--event-capacity N]\n\
+     \n\
+     IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 \
+     figB1..figB10 comparison observability"
 }
 
-struct Args {
+struct RunArgs {
     quick: bool,
     audit: bool,
     out: Option<String>,
-    bench_json: bool,
-    as_baseline: bool,
-    check_regression: bool,
     ids: BTreeSet<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+enum Cmd {
+    Run(RunArgs),
+    Bench {
+        as_baseline: bool,
+        check_regression: bool,
+    },
+    Audit {
+        quick: bool,
+    },
+    Metrics {
+        quick: bool,
+        json: Option<String>,
+    },
+    Trace {
+        quick: bool,
+        out: String,
+        event_capacity: Option<usize>,
+    },
+}
+
+fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut args = RunArgs {
+        quick: false,
+        audit: false,
+        out: None,
+        ids: BTreeSet::new(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--audit" => args.audit = true,
+            "--out" => args.out = Some(argv.next().ok_or("--out requires a directory")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            id if !id.starts_with('-') => {
+                args.ids.insert(id.to_ascii_lowercase());
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Run(args))
+}
+
+fn parse_bench(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut as_baseline = false;
+    let mut check_regression = false;
+    for a in argv {
+        match a.as_str() {
+            "--as-baseline" => as_baseline = true,
+            "--check-regression" => check_regression = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if check_regression && as_baseline {
+        return Err(format!(
+            "--check-regression and --as-baseline are mutually exclusive\n{}",
+            usage()
+        ));
+    }
+    Ok(Cmd::Bench {
+        as_baseline,
+        check_regression,
+    })
+}
+
+fn parse_quick_only(argv: impl Iterator<Item = String>, cmd: &str) -> Result<bool, String> {
+    let mut quick = false;
+    for a in argv {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other} for {cmd}\n{}", usage())),
+        }
+    }
+    Ok(quick)
+}
+
+fn parse_metrics(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut quick = false;
+    let mut json = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = Some(argv.next().ok_or("--json requires a file path")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other} for metrics\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Metrics { quick, json })
+}
+
+fn parse_trace(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut quick = false;
+    let mut out = String::from("study.trace.json");
+    let mut event_capacity = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = argv.next().ok_or("--out requires a file path")?,
+            "--event-capacity" => {
+                let v = argv.next().ok_or("--event-capacity requires a number")?;
+                event_capacity = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--event-capacity: not a number: {v}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other} for trace\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Trace {
+        quick,
+        out,
+        event_capacity,
+    })
+}
+
+/// The pre-subcommand flag spelling, kept as a hidden alias for one
+/// release: `--bench-json [--as-baseline|--check-regression]` maps to
+/// `bench`, everything else maps to `run`.
+fn parse_legacy(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut quick = false;
     let mut audit = false;
     let mut out = None;
@@ -56,7 +194,7 @@ fn parse_args() -> Result<Args, String> {
     let mut as_baseline = false;
     let mut check_regression = false;
     let mut ids = BTreeSet::new();
-    let mut argv = std::env::args().skip(1);
+    let mut argv = argv.peekable();
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--quick" => quick = true,
@@ -89,15 +227,67 @@ fn parse_args() -> Result<Args, String> {
             usage()
         ));
     }
-    Ok(Args {
-        quick,
-        audit,
-        out,
-        bench_json,
-        as_baseline,
-        check_regression,
-        ids,
-    })
+    let (new_form, cmd) = if bench_json {
+        let mut form = String::from("reproduce bench");
+        if as_baseline {
+            form.push_str(" --as-baseline");
+        }
+        if check_regression {
+            form.push_str(" --check-regression");
+        }
+        (
+            form,
+            Cmd::Bench {
+                as_baseline,
+                check_regression,
+            },
+        )
+    } else {
+        let mut form = String::from("reproduce run");
+        if quick {
+            form.push_str(" --quick");
+        }
+        if audit {
+            form.push_str(" --audit");
+        }
+        (
+            form,
+            Cmd::Run(RunArgs {
+                quick,
+                audit,
+                out,
+                ids,
+            }),
+        )
+    };
+    eprintln!(
+        "note: bare flags are deprecated and will be removed next release; \
+         use `{new_form}` instead"
+    );
+    Ok(cmd)
+}
+
+fn parse_cmd() -> Result<Cmd, String> {
+    let mut argv = std::env::args().skip(1);
+    match argv.next() {
+        None => Ok(Cmd::Run(RunArgs {
+            quick: false,
+            audit: false,
+            out: None,
+            ids: BTreeSet::new(),
+        })),
+        Some(first) => match first.as_str() {
+            "run" => parse_run(argv),
+            "bench" => parse_bench(argv),
+            "audit" => Ok(Cmd::Audit {
+                quick: parse_quick_only(argv, "audit")?,
+            }),
+            "metrics" => parse_metrics(argv),
+            "trace" => parse_trace(argv),
+            "--help" | "-h" => Err(usage().to_string()),
+            _ => parse_legacy(std::iter::once(first).chain(argv)),
+        },
+    }
 }
 
 /// Allowed shortfall of a fresh measurement against the committed rate
@@ -204,61 +394,73 @@ fn run_bench_json(as_baseline: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Map an invalid configuration to the documented exit code 2 with a
+/// one-line diagnostic naming the field.
+fn config_error(e: ConfigError) -> ExitCode {
+    eprintln!("reproduce: {e}");
+    ExitCode::from(2)
+}
 
-    if args.bench_json {
-        if args.check_regression {
-            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-            return run_check_regression(path);
-        }
-        return run_bench_json(args.as_baseline);
-    }
-
-    let cfg = if args.quick {
-        StudyConfig::quick()
+/// Build the study configuration for a subcommand, with the given trace
+/// knobs, through the validated builder.
+fn study_cfg(quick: bool, trace: TraceConfig) -> Result<StudyConfig, ConfigError> {
+    let builder = if quick {
+        StudyConfigBuilder::quick()
     } else {
-        StudyConfig::paper()
+        StudyConfigBuilder::paper()
     };
+    builder.trace(trace).build()
+}
+
+/// Run the study, narrating scale and timing on stderr.
+fn run_study_observed(cfg: StudyConfig, quick: bool) -> (Study, StudyObservability) {
     eprintln!(
         "running study: {} random sessions, {} triggered, {} transition ({} mode)...",
         cfg.n_random,
         cfg.n_triggered,
         cfg.n_transition,
-        if args.quick { "quick" } else { "paper" }
+        if quick { "quick" } else { "paper" }
     );
-    let t0 = std::time::Instant::now();
-    let study = Study::run(cfg);
+    let (study, obs) = Study::run_observed(cfg);
     eprintln!(
         "study complete in {:.1}s: {} samples, {} records",
-        t0.elapsed().as_secs_f64(),
+        obs.study_wall_s,
         study.all_samples().len(),
         study.pooled_counts().records
     );
+    (study, obs)
+}
 
-    if args.audit {
-        if !cfg!(feature = "audit") {
-            eprintln!(
-                "warning: reproduce was built without the `audit` feature; \
-                 the auditor did not run and the report below is vacuous \
-                 (rebuild with `cargo run --features audit --bin reproduce`)"
-            );
-        }
-        let audit = study.audit_report();
-        eprint!("{}", audit.render());
-        if !audit.is_clean() {
-            eprintln!(
-                "audit FAILED: {} invariant violations",
-                audit.total_violations()
-            );
-            return ExitCode::FAILURE;
-        }
+/// Print the audit report; false if violations were recorded.
+fn print_audit(study: &Study) -> bool {
+    if !cfg!(feature = "audit") {
+        eprintln!(
+            "warning: reproduce was built without the `audit` feature; \
+             the auditor did not run and the report below is vacuous \
+             (rebuild with `cargo run --features audit --bin reproduce`)"
+        );
+    }
+    let audit = study.audit_report();
+    eprint!("{}", audit.render());
+    if !audit.is_clean() {
+        eprintln!(
+            "audit FAILED: {} invariant violations",
+            audit.total_violations()
+        );
+        return false;
+    }
+    true
+}
+
+fn cmd_run(args: RunArgs) -> ExitCode {
+    let cfg = match study_cfg(args.quick, TraceConfig::metrics_only()) {
+        Ok(c) => c,
+        Err(e) => return config_error(e),
+    };
+    let (study, obs) = run_study_observed(cfg, args.quick);
+
+    if args.audit && !print_audit(&study) {
+        return ExitCode::FAILURE;
     }
 
     let wanted = |id: &str| args.ids.is_empty() || args.ids.contains(&id.to_ascii_lowercase());
@@ -312,11 +514,15 @@ fn main() -> ExitCode {
     emit("figB9", figures::fig_b9(&study));
     emit("figB10", figures::fig_b10(&study));
 
-    let rows = report::comparison(&study);
-    emit("comparison", report::render_comparison(&rows));
+    let study_report = StudyReport::new(&study, obs);
+    emit(
+        "comparison",
+        report::render_comparison(&study_report.comparison),
+    );
+    emit("observability", study_report.observability.render());
 
     if let Some(dir) = &args.out {
-        if let Err(e) = write_outputs(dir, &study, &printed, &rows) {
+        if let Err(e) = write_outputs(dir, &study, &printed, &study_report) {
             eprintln!("failed to write outputs to {dir}: {e}");
             return ExitCode::FAILURE;
         }
@@ -325,17 +531,106 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_audit(quick: bool) -> ExitCode {
+    let cfg = match study_cfg(quick, TraceConfig::off()) {
+        Ok(c) => c,
+        Err(e) => return config_error(e),
+    };
+    let (study, _) = run_study_observed(cfg, quick);
+    if print_audit(&study) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_metrics(quick: bool, json: Option<String>) -> ExitCode {
+    let cfg = match study_cfg(quick, TraceConfig::metrics_only()) {
+        Ok(c) => c,
+        Err(e) => return config_error(e),
+    };
+    let (_study, obs) = run_study_observed(cfg, quick);
+    print!("{}", obs.render());
+    if let Some(path) = json {
+        let payload =
+            serde_json::to_string(&obs.metrics_report()).expect("metrics report serializes");
+        if let Err(e) = std::fs::write(&path, payload + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(quick: bool, out: String, event_capacity: Option<usize>) -> ExitCode {
+    let mut trace = TraceConfig::full();
+    if let Some(cap) = event_capacity {
+        trace.event_capacity = cap;
+    }
+    let cfg = match study_cfg(quick, trace) {
+        Ok(c) => c,
+        Err(e) => return config_error(e),
+    };
+    let ns_per_cycle = cfg.machine.ns_per_cycle;
+    let (_study, obs) = run_study_observed(cfg, quick);
+    let recorded: u64 = obs.sessions.iter().map(|s| s.metrics.events_recorded).sum();
+    let dropped: u64 = obs.sessions.iter().map(|s| s.events_dropped).sum();
+    let json = obs.chrome_trace(ns_per_cycle);
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {out}: {} sessions, {recorded} events recorded ({dropped} dropped by the ring); \
+         open in Perfetto or chrome://tracing",
+        obs.sessions.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let cmd = match parse_cmd() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        Cmd::Run(args) => cmd_run(args),
+        Cmd::Bench {
+            as_baseline,
+            check_regression,
+        } => {
+            if check_regression {
+                let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+                run_check_regression(path)
+            } else {
+                run_bench_json(as_baseline)
+            }
+        }
+        Cmd::Audit { quick } => cmd_audit(quick),
+        Cmd::Metrics { quick, json } => cmd_metrics(quick, json),
+        Cmd::Trace {
+            quick,
+            out,
+            event_capacity,
+        } => cmd_trace(quick, out, event_capacity),
+    }
+}
+
 fn write_outputs(
     dir: &str,
     study: &Study,
     report_text: &str,
-    rows: &[report::CompRow],
+    study_report: &StudyReport,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(format!("{dir}/report.txt"), report_text)?;
     std::fs::write(
         format!("{dir}/comparison.md"),
-        report::render_comparison(rows),
+        report::render_comparison(&study_report.comparison),
     )?;
     let json = serde_json::to_string(study).expect("study serializes");
     std::fs::write(format!("{dir}/study.json"), json)?;

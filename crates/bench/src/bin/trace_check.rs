@@ -1,0 +1,45 @@
+//! Validate a Chrome `trace_event` file produced by `reproduce trace`:
+//! parse it, require a non-empty `traceEvents` array, and require `name`,
+//! `ph`, `pid` on every record (and `ts` on every non-metadata record).
+//! CI's trace-smoke step runs this on a quick study's export.
+
+use serde::Value;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "study.trace.json".into());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc: Value = match serde_json::from_str(text.trim_end()) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path}: invalid JSON: {e:?}")),
+    };
+    let Some(Value::Array(events)) = doc.get("traceEvents") else {
+        return fail(&format!("{path}: no traceEvents array"));
+    };
+    if events.is_empty() {
+        return fail(&format!("{path}: traceEvents is empty"));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["name", "ph", "pid"] {
+            if ev.get(key).is_none() {
+                return fail(&format!("{path}: event {i} lacks \"{key}\""));
+            }
+        }
+        let is_meta = matches!(ev.get("ph"), Some(Value::Str(s)) if s == "M");
+        if !is_meta && ev.get("ts").is_none() {
+            return fail(&format!("{path}: event {i} lacks \"ts\""));
+        }
+    }
+    println!("{path}: ok ({} events)", events.len());
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::FAILURE
+}

@@ -198,7 +198,7 @@ pub fn dense_ratio(cluster: &Cluster) -> f64 {
 /// unchanged while making it likely one window lands in quiet time.
 const MEASURE_REPS: u32 = 3;
 
-/// Cycles/sec of `Cluster::run` on `cluster`: best of [`MEASURE_REPS`]
+/// Cycles/sec of `Cluster::run` on `cluster`: best of `MEASURE_REPS`
 /// timing windows totalling at least `min_wall_s` of wall clock, each
 /// stepped in `chunk`-cycle slices.
 pub fn measure_run(cluster: &mut Cluster, chunk: u64, min_wall_s: f64) -> f64 {

@@ -9,10 +9,11 @@
 //!   transition from eight active processors to fewer (the end of
 //!   concurrent loops).
 
+use crate::observability::SessionObservability;
 use crate::sample::Sample;
 use fx8_monitor::{DasConfig, DasMonitor, EventCounts, KernelStats, Trigger};
 use fx8_sim::audit::AuditReport;
-use fx8_sim::{Cluster, Cycle, MachineConfig};
+use fx8_sim::{Cluster, ConfigError, Cycle, MachineConfig};
 use fx8_workload::arrival::arrival_times;
 use fx8_workload::{SessionDriver, WorkloadMix};
 use rand::rngs::SmallRng;
@@ -69,31 +70,38 @@ impl SessionConfig {
     /// Reject configurations the session runners cannot execute sanely:
     /// a sample interval that rounds to zero cycles used to reach
     /// [`run_random_session`] as a division by zero.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.machine.validate()?;
         if !self.hours.is_finite() || self.hours < 0.0 {
-            return Err(format!(
-                "hours {} must be finite and non-negative",
-                self.hours
+            return Err(ConfigError::out_of_range(
+                "session.hours",
+                self.hours,
+                "expected a finite non-negative number of hours",
             ));
         }
         if !self.sample_interval_s.is_finite() || self.sample_interval_s <= 0.0 {
-            return Err(format!(
-                "sample_interval_s {} must be finite and positive",
-                self.sample_interval_s
+            return Err(ConfigError::out_of_range(
+                "session.sample_interval_s",
+                self.sample_interval_s,
+                "expected a finite positive number of seconds",
             ));
         }
         if self.machine.seconds_to_cycles(self.sample_interval_s) == 0 {
-            return Err(format!(
-                "sample_interval_s {} rounds to zero cycles",
-                self.sample_interval_s
+            return Err(ConfigError::out_of_range(
+                "session.sample_interval_s",
+                self.sample_interval_s,
+                "rounds to zero cycles on this machine",
             ));
         }
         if self.snapshots_per_sample == 0 {
-            return Err("snapshots_per_sample must be nonzero".into());
+            return Err(ConfigError::Zero {
+                field: "session.snapshots_per_sample",
+            });
         }
         if self.buffer_depth == 0 {
-            return Err("buffer_depth must be nonzero".into());
+            return Err(ConfigError::Zero {
+                field: "session.buffer_depth",
+            });
         }
         Ok(())
     }
@@ -179,6 +187,17 @@ pub struct Capture {
 
 /// Run one random-sampling session (§ 3.5, first measurement type).
 pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionResult {
+    run_random_session_observed(cfg, session_idx).0
+}
+
+/// [`run_random_session`], also returning the session's observability
+/// slice (trace metrics, events, wall clock). The simulated trajectory is
+/// bit-identical to the plain runner's: observation never steers.
+pub fn run_random_session_observed(
+    cfg: &SessionConfig,
+    session_idx: usize,
+) -> (SessionResult, SessionObservability) {
+    let started = std::time::Instant::now();
     let mut driver = cfg.make_driver();
     let das = DasMonitor::new(DasConfig {
         buffer_depth: cfg.buffer_depth,
@@ -223,12 +242,17 @@ pub fn run_random_session(cfg: &SessionConfig, session_idx: usize) -> SessionRes
         });
     }
 
-    SessionResult {
-        session: session_idx,
-        samples,
-        jobs_completed: driver.completed_jobs(),
-        audit: driver.cluster().audit_report(),
-    }
+    let obs =
+        SessionObservability::capture(format!("random {session_idx}"), started, driver.cluster());
+    (
+        SessionResult {
+            session: session_idx,
+            samples,
+            jobs_completed: driver.completed_jobs(),
+            audit: driver.cluster().audit_report(),
+        },
+        obs,
+    )
 }
 
 /// Run one all-active-triggered session (§ 3.5, second measurement type).
@@ -239,6 +263,18 @@ pub fn run_triggered_session(
     session_idx: usize,
     captures: usize,
 ) -> (Vec<Capture>, AuditReport) {
+    let (caps, audit, _) = run_triggered_session_observed(cfg, session_idx, captures);
+    (caps, audit)
+}
+
+/// [`run_triggered_session`], also returning the session's observability
+/// slice.
+pub fn run_triggered_session_observed(
+    cfg: &SessionConfig,
+    session_idx: usize,
+    captures: usize,
+) -> (Vec<Capture>, AuditReport, SessionObservability) {
+    let started = std::time::Instant::now();
     let mut driver = cfg.make_driver();
     let das = DasMonitor::new(DasConfig {
         buffer_depth: cfg.buffer_depth,
@@ -278,7 +314,12 @@ pub fn run_triggered_session(
         }
     }
     let audit = driver.cluster().audit_report();
-    (out, audit)
+    let obs = SessionObservability::capture(
+        format!("triggered {session_idx}"),
+        started,
+        driver.cluster(),
+    );
+    (out, audit, obs)
 }
 
 /// Run one transition-triggered session (§ 3.5, the 8-to-fewer trigger).
@@ -288,6 +329,18 @@ pub fn run_transition_session(
     session_idx: usize,
     captures: usize,
 ) -> (Vec<Capture>, AuditReport) {
+    let (caps, audit, _) = run_transition_session_observed(cfg, session_idx, captures);
+    (caps, audit)
+}
+
+/// [`run_transition_session`], also returning the session's observability
+/// slice.
+pub fn run_transition_session_observed(
+    cfg: &SessionConfig,
+    session_idx: usize,
+    captures: usize,
+) -> (Vec<Capture>, AuditReport, SessionObservability) {
+    let started = std::time::Instant::now();
     let mut driver = cfg.make_driver();
     // A tight trigger timeout: if the drain slipped past during warm-up the
     // fastest recovery is rearming at the next loop end, not waiting here.
@@ -325,7 +378,12 @@ pub fn run_transition_session(
         }
     }
     let audit = driver.cluster().audit_report();
-    (out, audit)
+    let obs = SessionObservability::capture(
+        format!("transition {session_idx}"),
+        started,
+        driver.cluster(),
+    );
+    (out, audit, obs)
 }
 
 #[cfg(test)]

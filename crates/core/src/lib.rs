@@ -14,10 +14,14 @@
 //! * [`tables`] — Tables 1–4 and A.1;
 //! * [`figures`] — Figures 3–14, A.1–A.5 and B.1–B.10;
 //! * [`report`] — the full text report and the paper-vs-measured
-//!   comparison behind EXPERIMENTS.md.
+//!   comparison behind EXPERIMENTS.md;
+//! * [`observability`] — `fx8-trace` at study granularity: per-session
+//!   metrics/events pooled across the run, plus wall-clock
+//!   self-profiling of `Study::run`.
 
 pub mod experiment;
 pub mod figures;
+pub mod observability;
 pub mod report;
 pub mod sample;
 pub mod study;
@@ -25,3 +29,17 @@ pub mod tables;
 
 pub use sample::Sample;
 pub use study::{SessionAudit, Study, StudyAuditReport, StudyConfig};
+
+/// The types most programs need, importable in one line:
+/// `use fx8_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::experiment::{Capture, SessionConfig, SessionResult};
+    pub use crate::observability::{
+        MetricsReport, SessionMetrics, SessionObservability, StudyObservability,
+    };
+    pub use crate::report::{CompRow, StudyReport};
+    pub use crate::sample::Sample;
+    pub use crate::study::{Study, StudyAuditReport, StudyConfig, StudyConfigBuilder};
+    pub use fx8_monitor::EventCounts;
+    pub use fx8_sim::{ConfigError, MachineConfig, MachineConfigBuilder, TraceConfig};
+}

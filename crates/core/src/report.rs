@@ -7,6 +7,7 @@
 //! numbers: the substrate is a simulator, not the CSRD machine.
 
 use crate::figures;
+use crate::observability::StudyObservability;
 use crate::sample::Sample;
 use crate::study::Study;
 use crate::tables;
@@ -256,6 +257,34 @@ pub fn comparison(study: &Study) -> Vec<CompRow> {
         });
     }
     rows
+}
+
+/// The study's report: the paper-vs-measured comparison plus the run's
+/// own observability (engine residency, per-session metrics, wall clock).
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Every quantitative claim paired with its measured counterpart.
+    pub comparison: Vec<CompRow>,
+    /// Self-observability of the run that produced the data.
+    pub observability: StudyObservability,
+}
+
+impl StudyReport {
+    /// Build the report for a finished study and its observability.
+    pub fn new(study: &Study, observability: StudyObservability) -> Self {
+        StudyReport {
+            comparison: comparison(study),
+            observability,
+        }
+    }
+
+    /// Render the comparison table followed by the observability section.
+    pub fn render(&self) -> String {
+        let mut s = render_comparison(&self.comparison);
+        s.push('\n');
+        s.push_str(&self.observability.render());
+        s
+    }
 }
 
 /// Render the comparison as a markdown table (EXPERIMENTS.md body).

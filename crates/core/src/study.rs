@@ -7,13 +7,14 @@
 //! results are bit-identical to a serial run.
 
 use crate::experiment::{
-    run_random_session, run_transition_session, run_triggered_session, Capture, SessionConfig,
-    SessionResult,
+    run_random_session_observed, run_transition_session_observed, run_triggered_session_observed,
+    Capture, SessionConfig, SessionResult,
 };
+use crate::observability::{SessionObservability, StudyObservability};
 use crate::sample::Sample;
 use fx8_monitor::EventCounts;
 use fx8_sim::audit::{AuditReport, Violation};
-use fx8_sim::MachineConfig;
+use fx8_sim::{ConfigError, MachineConfig};
 use fx8_stats::measures::ConcurrencyMeasures;
 use fx8_workload::WorkloadMix;
 use serde::{Deserialize, Serialize};
@@ -95,15 +96,22 @@ impl StudyConfig {
     /// Reject configurations the study cannot run: every session length
     /// must be a finite non-negative number of hours, and the per-session
     /// configuration they produce must itself validate.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (i, &h) in self.session_hours.iter().enumerate() {
             if !h.is_finite() || h < 0.0 {
-                return Err(format!(
-                    "session_hours[{i}] = {h} must be finite and non-negative"
+                return Err(ConfigError::out_of_range(
+                    "session_hours",
+                    format!("{h} (index {i})"),
+                    "expected a finite non-negative number of hours",
                 ));
             }
         }
         self.session_cfg(0, DEFAULT_SESSION_HOURS).validate()
+    }
+
+    /// Start a builder seeded with the paper-scale configuration.
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder::paper()
     }
 
     fn session_cfg(&self, seed_offset: u64, hours: f64) -> SessionConfig {
@@ -113,6 +121,86 @@ impl StudyConfig {
             hours,
             ..SessionConfig::paper(self.base_seed + seed_offset)
         }
+    }
+}
+
+/// Builder for [`StudyConfig`].
+///
+/// Starts from a preset ([`StudyConfigBuilder::paper`] or
+/// [`StudyConfigBuilder::quick`]), overrides individual fields, and runs
+/// the full validation chain in [`StudyConfigBuilder::build`], returning
+/// [`ConfigError`] instead of panicking later inside the session runners.
+#[derive(Debug, Clone)]
+pub struct StudyConfigBuilder {
+    cfg: StudyConfig,
+}
+
+macro_rules! study_builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, v: $ty) -> Self {
+                self.cfg.$name = v;
+                self
+            }
+        )*
+    };
+}
+
+impl StudyConfigBuilder {
+    /// Start from the paper-scale study ([`StudyConfig::paper`]).
+    pub fn paper() -> Self {
+        StudyConfigBuilder {
+            cfg: StudyConfig::paper(),
+        }
+    }
+
+    /// Start from the scaled-down test study ([`StudyConfig::quick`]).
+    pub fn quick() -> Self {
+        StudyConfigBuilder {
+            cfg: StudyConfig::quick(),
+        }
+    }
+
+    /// Start from an existing configuration.
+    pub fn from_config(cfg: StudyConfig) -> Self {
+        StudyConfigBuilder { cfg }
+    }
+
+    study_builder_setters! {
+        /// Machine configuration shared by all sessions.
+        machine: MachineConfig,
+        /// Workload mix shared by all sessions.
+        mix: WorkloadMix,
+        /// Number of random-sampling sessions.
+        n_random: usize,
+        /// Random-session lengths in hours, cycled across sessions.
+        session_hours: Vec<f64>,
+        /// Number of all-active-triggered sessions.
+        n_triggered: usize,
+        /// Buffers captured per triggered session.
+        captures_per_triggered: usize,
+        /// Number of transition-triggered sessions.
+        n_transition: usize,
+        /// Buffers captured per transition session.
+        captures_per_transition: usize,
+        /// Base RNG seed; session `i` uses `base_seed + i`.
+        base_seed: u64,
+        /// Run sessions on parallel threads.
+        parallel: bool,
+    }
+
+    /// Set the trace knobs on the shared machine configuration (the
+    /// common case for observability runs: everything else stays preset).
+    pub fn trace(mut self, trace: fx8_sim::TraceConfig) -> Self {
+        self.cfg.machine.trace = trace;
+        self
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<StudyConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -137,15 +225,25 @@ pub struct Study {
 impl Study {
     /// Run the whole study.
     pub fn run(config: StudyConfig) -> Study {
+        Study::run_observed(config).0
+    }
+
+    /// Run the whole study, also returning its observability: per-session
+    /// trace metrics/events and wall-clock self-profiling. The returned
+    /// [`Study`] is bit-identical to [`Study::run`]'s — observation never
+    /// steers, and wall time lives only in the second tuple element, so
+    /// the determinism suite keeps comparing studies whole.
+    pub fn run_observed(config: StudyConfig) -> (Study, StudyObservability) {
+        let study_started = std::time::Instant::now();
         enum Task {
             Random(usize, SessionConfig),
             Triggered(usize, SessionConfig, usize),
             Transition(usize, SessionConfig, usize),
         }
         enum Out {
-            Random(usize, SessionResult),
-            Triggered(usize, Vec<Capture>, AuditReport),
-            Transition(usize, Vec<Capture>, AuditReport),
+            Random(usize, SessionResult, SessionObservability),
+            Triggered(usize, Vec<Capture>, AuditReport, SessionObservability),
+            Transition(usize, Vec<Capture>, AuditReport, SessionObservability),
         }
         let mut tasks = Vec::new();
         for i in 0..config.n_random {
@@ -163,14 +261,17 @@ impl Study {
 
         let run_task = |t: &Task| -> Out {
             match t {
-                Task::Random(i, cfg) => Out::Random(*i, run_random_session(cfg, *i)),
+                Task::Random(i, cfg) => {
+                    let (r, obs) = run_random_session_observed(cfg, *i);
+                    Out::Random(*i, r, obs)
+                }
                 Task::Triggered(i, cfg, n) => {
-                    let (caps, audit) = run_triggered_session(cfg, *i, *n);
-                    Out::Triggered(*i, caps, audit)
+                    let (caps, audit, obs) = run_triggered_session_observed(cfg, *i, *n);
+                    Out::Triggered(*i, caps, audit, obs)
                 }
                 Task::Transition(i, cfg, n) => {
-                    let (caps, audit) = run_transition_session(cfg, *i, *n);
-                    Out::Transition(*i, caps, audit)
+                    let (caps, audit, obs) = run_transition_session_observed(cfg, *i, *n);
+                    Out::Transition(*i, caps, audit, obs)
                 }
             }
         };
@@ -236,20 +337,29 @@ impl Study {
         let mut transitions = vec![Vec::new(); config.n_transition];
         let mut triggered_audits = vec![AuditReport::default(); config.n_triggered];
         let mut transition_audits = vec![AuditReport::default(); config.n_transition];
+        // `outputs` is in task order (random, then triggered, then
+        // transition), which is exactly the session order the
+        // observability report documents.
+        let mut session_obs = Vec::with_capacity(outputs.len());
         for out in outputs {
             match out {
-                Out::Random(i, r) => random_sessions[i] = Some(r),
-                Out::Triggered(i, b, a) => {
+                Out::Random(i, r, obs) => {
+                    random_sessions[i] = Some(r);
+                    session_obs.push(obs);
+                }
+                Out::Triggered(i, b, a, obs) => {
                     triggered[i] = b;
                     triggered_audits[i] = a;
+                    session_obs.push(obs);
                 }
-                Out::Transition(i, b, a) => {
+                Out::Transition(i, b, a, obs) => {
                     transitions[i] = b;
                     transition_audits[i] = a;
+                    session_obs.push(obs);
                 }
             }
         }
-        Study {
+        let study = Study {
             config,
             random_sessions: random_sessions
                 .into_iter()
@@ -259,7 +369,12 @@ impl Study {
             transitions,
             triggered_audits,
             transition_audits,
-        }
+        };
+        let observability = StudyObservability {
+            sessions: session_obs,
+            study_wall_s: study_started.elapsed().as_secs_f64(),
+        };
+        (study, observability)
     }
 
     /// Every sample of every random session, session order then time order.
@@ -547,6 +662,63 @@ mod tests {
         assert!(cfg.validate().is_err());
         assert!(StudyConfig::paper().validate().is_ok());
         assert!(StudyConfig::quick().validate().is_ok());
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_labeled() {
+        let base = mini();
+        let traced = StudyConfigBuilder::from_config(base.clone())
+            .trace(fx8_sim::TraceConfig::full())
+            .build()
+            .expect("mini study config validates");
+        let (study, obs) = Study::run_observed(traced);
+        // Tracing never steers: the study equals an untraced plain run.
+        let plain = Study::run(base);
+        assert_eq!(study.random_sessions, plain.random_sessions);
+        assert_eq!(study.triggered, plain.triggered);
+        assert_eq!(study.transitions, plain.transitions);
+        // One observability slice per session, in documented order.
+        let labels: Vec<&str> = obs.sessions.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["random 0", "random 1", "triggered 0", "transition 0"]
+        );
+        let eng = obs.pooled_engine();
+        assert!(eng.total > 0, "sessions stepped cycles");
+        assert!(eng.consistent(), "engines partition the timeline");
+        for s in &obs.sessions {
+            assert!(s.metrics.cycles.consistent(), "{}: engine split", s.label);
+            assert!(s.wall_s >= 0.0);
+        }
+        assert!(
+            obs.sessions.iter().any(|s| !s.events.is_empty()),
+            "the event trace captured something"
+        );
+        let json = obs.chrome_trace(study.config.machine.ns_per_cycle);
+        assert!(json.contains("random 0"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn study_builder_overrides_and_validates() {
+        let cfg = StudyConfig::builder()
+            .n_random(1)
+            .session_hours(vec![0.1])
+            .n_triggered(0)
+            .n_transition(0)
+            .base_seed(7)
+            .parallel(false)
+            .build()
+            .expect("overridden paper config stays valid");
+        assert_eq!(cfg.n_random, 1);
+        assert_eq!(cfg.base_seed, 7);
+        assert_eq!(cfg.machine, MachineConfig::fx8(), "presets untouched");
+
+        let err = StudyConfigBuilder::quick()
+            .session_hours(vec![f64::NAN])
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field(), "session_hours");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::reduce::EventCounts;
 use crate::trigger::{Trigger, TriggerState};
-use fx8_sim::{Cluster, Cycle, ProbeWord};
+use fx8_sim::{Cluster, ConfigError, Cycle, ProbeWord};
 use serde::{Deserialize, Serialize};
 
 /// Analyzer configuration.
@@ -41,13 +41,22 @@ impl DasConfig {
     /// always captured); [`DasMonitor::new`] floors the depth the same way
     /// the session layer floors a zero sample interval, so a zero here is
     /// reported rather than silently misbehaving.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.buffer_depth == 0 {
-            return Err(
-                "buffer_depth must be at least 1 (the trigger record is always captured)".into(),
-            );
+            return Err(ConfigError::Zero {
+                field: "das.buffer_depth",
+            });
         }
         Ok(())
+    }
+}
+
+/// The trigger condition as the trace layer names it.
+fn trigger_kind(trigger: Trigger) -> fx8_sim::trace::TriggerKind {
+    match trigger {
+        Trigger::Immediate => fx8_sim::trace::TriggerKind::Immediate,
+        Trigger::AllCesActive => fx8_sim::trace::TriggerKind::AllCesActive,
+        Trigger::TransitionFromFull => fx8_sim::trace::TriggerKind::TransitionFromFull,
     }
 }
 
@@ -235,6 +244,7 @@ impl DasMonitor {
             let truth0 = ground_truth(cluster);
             let w = cluster.step();
             if trig.fire(&w) {
+                cluster.note_probe_trigger(trigger_kind(self.cfg.trigger));
                 let mut records = Vec::with_capacity(self.cfg.buffer_depth);
                 let triggered_at = w.cycle;
                 records.push(w);
@@ -310,6 +320,7 @@ impl DasMonitor {
             );
             let w = cluster.step();
             if trig.fire(&w) {
+                cluster.note_probe_trigger(trigger_kind(self.cfg.trigger));
                 let triggered_at = w.cycle;
                 counts.accumulate_word(&w);
                 for _ in 1..self.cfg.buffer_depth {

@@ -26,7 +26,8 @@
 //! The monitor adds an end-to-end layer on top: after each acquisition it
 //! compares the reduced [`EventCounts`](../../fx8_monitor/reduce) deltas
 //! against the simulator's own ground-truth counters and files mismatches
-//! here via [`crate::Cluster::audit_note_violation`].
+//! here via `Cluster::audit_note_violation` (compiled under the same
+//! feature).
 //!
 //! With the feature off (the default), none of this code is compiled into
 //! the stepper and [`crate::Cluster::audit_report`] returns an empty

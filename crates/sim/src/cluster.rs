@@ -180,6 +180,12 @@ pub struct Cluster {
     cycles_dense: u64,
     /// Total cycles advanced, stepped or skipped.
     cycles_total: u64,
+    /// `fx8-trace` observability. `None` unless `cfg.trace` arms it, so a
+    /// disabled tracer costs one predictable branch at the non-hot hook
+    /// sites and nothing inside the dense lane loop. Pure observer: its
+    /// state never feeds back into stepping and is excluded from
+    /// [`Cluster::state_digest`], like the engine residency counters.
+    tracer: Option<Box<crate::trace::Tracer>>,
     /// Per-cycle invariant checker (compiled in under the `audit` feature).
     #[cfg(feature = "audit")]
     auditor: crate::audit::Auditor,
@@ -193,6 +199,11 @@ impl Cluster {
         let ces = (0..n)
             .map(|i| Ce::new(i, cfg.icache_bytes, cfg.icache_line_bytes))
             .collect();
+        let tracer = if cfg.trace.enabled() {
+            Some(Box::new(crate::trace::Tracer::new(&cfg.trace)))
+        } else {
+            None
+        };
         Cluster {
             caches: CacheSystem::new(cfg.cache, 32 * 1024),
             crossbar: Crossbar::new(n, cfg.cache.banks, cfg.crossbar_arbitration),
@@ -220,6 +231,7 @@ impl Cluster {
             cycles_skipped: 0,
             cycles_dense: 0,
             cycles_total: 0,
+            tracer,
             #[cfg(feature = "audit")]
             auditor: crate::audit::Auditor::default(),
         }
@@ -334,6 +346,13 @@ impl Cluster {
             self.resume_actions[i] = None;
             self.reset_op_flags(i);
         }
+        let now = self.now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(crate::trace::TraceEvent::Mount {
+                at: now,
+                kind: crate::trace::MountKind::Idle,
+            });
+        }
     }
 
     /// CEs not occupied by detached processes.
@@ -353,6 +372,13 @@ impl Cluster {
         self.ces[leader].role = CeRole::ClusterSerial;
         self.ces[leader].state = CeState::Ready;
         self.load = Load::Serial { code, asid };
+        let now = self.now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(crate::trace::TraceEvent::Mount {
+                at: now,
+                kind: crate::trace::MountKind::Serial,
+            });
+        }
     }
 
     /// Mount a concurrent loop: iterations `first..total` remain to run
@@ -377,6 +403,21 @@ impl Cluster {
             self.ces[i].state = CeState::AwaitIter;
         }
         self.load = Load::Loop { body, after, asid };
+        let now = self.now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            for &i in &free {
+                tr.iter_wait_since[i] = now;
+            }
+            tr.push(crate::trace::TraceEvent::Mount {
+                at: now,
+                kind: crate::trace::MountKind::Loop,
+            });
+            tr.push(crate::trace::TraceEvent::LoopStart {
+                at: now,
+                lanes: free.len() as u32,
+                total: total.saturating_sub(first),
+            });
+        }
     }
 
     /// Mount a detached, exclusively-serial process on CE `ce`. It will
@@ -392,6 +433,13 @@ impl Cluster {
         self.detached[ce] = Some((code, asid));
         self.resume_actions[ce] = None;
         self.reset_op_flags(ce);
+        let now = self.now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(crate::trace::TraceEvent::Mount {
+                at: now,
+                kind: crate::trace::MountKind::Detached,
+            });
+        }
     }
 
     /// Remove the detached process from CE `ce`.
@@ -409,7 +457,7 @@ impl Cluster {
     /// but the memory-bus probe decode is skipped since no analyzer is
     /// armed to read it. Each iteration picks the cheapest legal stepper:
     /// quiescent stretches are bulk-skipped, busy loop windows run through
-    /// the dense SoA kernel ([`Cluster::step_dense`]), and everything else
+    /// the dense SoA kernel (`Cluster::step_dense`), and everything else
     /// falls back to the scalar per-cycle stepper.
     pub fn run(&mut self, n: u64) {
         let end = self.now + n;
@@ -458,6 +506,13 @@ impl Cluster {
             self.ces[ce].state = CeState::Ready;
             self.reset_op_flags(ce);
             self.load = Load::Drained { code: after, asid };
+            let now = self.now;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.push(crate::trace::TraceEvent::CeDrained {
+                    at: now,
+                    ce: ce as u32,
+                });
+            }
         } else {
             // Not a loop (should not happen): restore.
             self.load = load;
@@ -549,6 +604,79 @@ impl Cluster {
     /// machine state, and is excluded from [`Cluster::state_digest`].
     pub fn dense_counters(&self) -> (u64, u64) {
         (self.cycles_dense, self.cycles_total)
+    }
+
+    /// Cycles retired per stepping engine. Scalar cycles are the remainder
+    /// once the dense and fast-forward engines account for theirs, so the
+    /// split always partitions `cycles_total`.
+    pub fn engine_cycles(&self) -> crate::trace::EngineCycles {
+        crate::trace::EngineCycles {
+            scalar: self.cycles_total - self.cycles_dense - self.cycles_skipped,
+            dense: self.cycles_dense,
+            skipped: self.cycles_skipped,
+            total: self.cycles_total,
+        }
+    }
+
+    /// Sample the `fx8-trace` metrics registry: one consistent snapshot of
+    /// every subsystem's monotonic counters. Always available — the
+    /// subsystem counters exist regardless of [`crate::config::TraceConfig`] — but
+    /// the dispatch-to-grant histogram only fills when `trace.metrics` was
+    /// armed at construction.
+    pub fn metrics(&self) -> crate::trace::MetricsSnapshot {
+        let cache = self.caches.stats();
+        let faults = self.vm.total_faults();
+        let ccb = self.ccb.stats();
+        let xbar = self.crossbar.stats();
+        let bus = self.membus.stats();
+        crate::trace::MetricsSnapshot {
+            cycles: self.engine_cycles(),
+            instrs: self.ces.iter().map(|ce| ce.stats.instrs).sum(),
+            iters_completed: self.ces.iter().map(|ce| ce.stats.iters_completed).sum(),
+            crossbar_grants: xbar.grants,
+            crossbar_retries: xbar.denials,
+            crossbar_grants_by_bank: xbar.grants_by_bank.clone(),
+            membus_busy_cycles: bus.busy_cycles,
+            membus_ops_by_kind: bus.by_op.to_vec(),
+            cache_ce_accesses: cache.ce_accesses,
+            cache_ce_misses: cache.ce_misses,
+            ccb_grants_by_ce: ccb.grants_by_ce.clone(),
+            ccb_grant_wait_cycles: ccb.grant_wait_cycles,
+            ccb_sync_wait_cycles: ccb.sync_wait_cycles,
+            ccb_grant_latency: self
+                .tracer
+                .as_deref()
+                .map(|t| t.grant_latency)
+                .unwrap_or_default(),
+            vm_user_faults: faults.user,
+            vm_system_faults: faults.system,
+            events_recorded: self.tracer.as_deref().map_or(0, |t| t.recorded()),
+            events_dropped: self.tracer.as_deref().map_or(0, |t| t.dropped()),
+        }
+    }
+
+    /// Snapshot of the retained event trace, oldest first. Empty unless
+    /// `trace.events` was armed at construction.
+    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+        self.tracer
+            .as_deref()
+            .map(|t| t.events())
+            .unwrap_or_default()
+    }
+
+    /// Events evicted by the bounded trace ring so far.
+    pub fn trace_dropped_events(&self) -> u64 {
+        self.tracer.as_deref().map_or(0, |t| t.dropped())
+    }
+
+    /// Record a probe-trigger event on behalf of an armed analyzer (the
+    /// DAS monitor calls this when its trigger condition fires). A no-op
+    /// unless the event trace is armed.
+    pub fn note_probe_trigger(&mut self, trigger: crate::trace::TriggerKind) {
+        let now = self.now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(crate::trace::TraceEvent::ProbeTrigger { at: now, trigger });
+        }
     }
 
     /// Number of CEs currently concurrency-active: the population count the
@@ -775,6 +903,7 @@ impl Cluster {
             active &= active - 1;
             self.ces[id].stats.active_cycles += k;
         }
+        let from = self.now;
         self.now += k;
         self.cycles_total += k;
         // Only genuine bulk advancement counts toward the skip ratio: a
@@ -784,6 +913,9 @@ impl Cluster {
         // actually saved.
         if k >= 2 {
             self.cycles_skipped += k;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.push(crate::trace::TraceEvent::FastForward { from, cycles: k });
+            }
         }
     }
 
@@ -1038,6 +1170,9 @@ impl Cluster {
                         self.ccb.complete_iter();
                         self.ces[id].stats.iters_completed += 1;
                         self.ces[id].state = CeState::AwaitIter;
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            tr.iter_wait_since[id] = now;
+                        }
                         ready_mask &= !bit;
                         iter_mask |= bit;
                         continue;
@@ -1231,9 +1366,13 @@ impl Cluster {
             // every worker was CCB-active for the whole window.
             self.ces[id].stats.active_cycles += done;
         }
+        let from = self.now;
         self.now = now;
         self.cycles_total += done;
         self.cycles_dense += done;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.push(crate::trace::TraceEvent::DenseWindow { from, cycles: done });
+        }
         done
     }
 
@@ -1321,6 +1460,22 @@ impl Cluster {
                             CeState::Ready
                         };
                         self.reset_op_flags(id);
+                        // Grants only ever land in the scalar stepper (the
+                        // dense kernel bails on grant cycles and bulk
+                        // windows never contain one), so this is the single
+                        // dispatch-to-grant measurement point.
+                        if let Some(tr) = self.tracer.as_deref_mut() {
+                            let waited = now.saturating_sub(tr.iter_wait_since[id]);
+                            if tr.metrics_on {
+                                tr.grant_latency.record(waited);
+                            }
+                            tr.push(crate::trace::TraceEvent::CcbGrant {
+                                at: now,
+                                ce: id as u32,
+                                iter: i,
+                                waited,
+                            });
+                        }
                     }
                     IterGrant::Exhausted => {
                         if self.ccb.serial_successor() == Some(id) {
@@ -1428,6 +1583,9 @@ impl Cluster {
                             self.ccb.complete_iter();
                             self.ces[id].stats.iters_completed += 1;
                             self.ces[id].state = CeState::AwaitIter;
+                            if let Some(tr) = self.tracer.as_deref_mut() {
+                                tr.iter_wait_since[id] = now;
+                            }
                             continue;
                         }
                         _ => {
@@ -1585,6 +1743,22 @@ impl Cluster {
             }
             if word.ce_ops[id].is_busy() {
                 self.ces[id].stats.bus_busy_cycles += 1;
+            }
+        }
+        // Concurrency-transition edges. Activity is role-derived, so it is
+        // constant inside dense and bulk-skipped windows — every change is
+        // observable from a scalar cycle (or a mount, handled there).
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if tr.events_on {
+                let active = word.active_mask.count_ones();
+                if active != tr.last_active {
+                    tr.push(crate::trace::TraceEvent::Transition {
+                        at: now,
+                        from: tr.last_active,
+                        to: active,
+                    });
+                    tr.last_active = active;
+                }
             }
         }
         if probed {
@@ -2024,6 +2198,72 @@ mod tests {
         assert_eq!(c.load_kind(), LoadKind::Drained);
         let done: u64 = (0..2).map(|i| c.ce_stats(i).iters_completed).sum();
         assert_eq!(done, 30);
+    }
+
+    /// Arming the tracer must be a pure observation: identical machine
+    /// trajectory, digest and probe stream with it on or off.
+    #[test]
+    fn tracing_never_perturbs_the_machine() {
+        let drive = |trace: crate::config::TraceConfig| {
+            let mut cfg = MachineConfig::fx8();
+            cfg.trace = trace;
+            let mut c = Cluster::new(cfg, 42);
+            c.set_ip_intensity(0.12);
+            c.mount_loop(loop_body(1), 0, 2_000, serial_code(1), 1);
+            c.run(30_000);
+            let words = c.capture(200);
+            (c.state_digest(), words)
+        };
+        let (d_off, w_off) = drive(crate::config::TraceConfig::off());
+        let (d_on, w_on) = drive(crate::config::TraceConfig::full());
+        assert_eq!(d_on, d_off, "tracing diverged the machine state");
+        assert_eq!(w_on, w_off, "tracing diverged the probe stream");
+    }
+
+    #[test]
+    fn armed_tracer_records_loop_lifecycle_and_metrics() {
+        use crate::trace::TraceEvent as E;
+        let mut cfg = MachineConfig::fx8();
+        cfg.trace = crate::config::TraceConfig::full();
+        let mut c = Cluster::new(cfg, 7);
+        c.set_ip_intensity(0.0);
+        c.mount_loop(loop_body(1), 0, 200, serial_code(1), 1);
+        c.run(100_000);
+        let events = c.trace_events();
+        assert!(events.iter().any(|e| matches!(e, E::Mount { .. })));
+        assert!(events.iter().any(|e| matches!(e, E::LoopStart { .. })));
+        assert!(events.iter().any(|e| matches!(e, E::CcbGrant { .. })));
+        assert!(events.iter().any(|e| matches!(e, E::Transition { .. })));
+        let m = c.metrics();
+        assert!(m.cycles.consistent(), "engine split must partition total");
+        assert_eq!(m.cycles.total, 100_000);
+        // Every CCB grant passed through the latency histogram (grants
+        // only ever land in the scalar stepper).
+        assert_eq!(
+            m.ccb_grant_latency.count,
+            m.ccb_grants_by_ce.iter().sum::<u64>()
+        );
+        // Per-bank grants partition total crossbar grants.
+        assert_eq!(
+            m.crossbar_grants_by_bank.iter().sum::<u64>(),
+            m.crossbar_grants
+        );
+        assert_eq!(
+            m.events_recorded,
+            events.len() as u64 + c.trace_dropped_events()
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_reports_empty_observability() {
+        let mut c = cluster();
+        c.mount_loop(loop_body(1), 0, 50, serial_code(1), 1);
+        c.run(10_000);
+        assert!(c.trace_events().is_empty());
+        let m = c.metrics();
+        assert!(m.cycles.consistent());
+        assert_eq!(m.events_recorded, 0);
+        assert_eq!(m.ccb_grant_latency.count, 0);
     }
 }
 

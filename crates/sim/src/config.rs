@@ -10,6 +10,87 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A configuration validation failure.
+///
+/// Every `validate()` in the config chain (`CacheGeometry`,
+/// [`MachineConfig`], and the session/study/monitor configs built on top)
+/// reports through this enum instead of a bare `String`, so callers can
+/// match on the failure, and diagnostics always name the offending field
+/// and its value. Hand-rolled `Display`/`Error` impls keep the vendored
+/// build free of a `thiserror` dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A field's value fell outside its legal range; `constraint`
+    /// describes the bound it broke.
+    OutOfRange {
+        /// Dotted path of the offending field (e.g. `cache.line_bytes`).
+        field: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// Human-readable statement of the violated constraint.
+        constraint: String,
+    },
+    /// A field that must be a nonzero power of two was not.
+    NotPowerOfTwo {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A field that must be nonzero was zero.
+    Zero {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand constructor for [`ConfigError::OutOfRange`].
+    pub fn out_of_range(
+        field: &'static str,
+        value: impl std::fmt::Display,
+        constraint: impl Into<String>,
+    ) -> Self {
+        ConfigError::OutOfRange {
+            field,
+            value: value.to_string(),
+            constraint: constraint.into(),
+        }
+    }
+
+    /// Dotted path of the field that failed validation.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::OutOfRange { field, .. }
+            | ConfigError::NotPowerOfTwo { field, .. }
+            | ConfigError::Zero { field } => field,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                field,
+                value,
+                constraint,
+            } => write!(f, "invalid {field}: {value} ({constraint})"),
+            ConfigError::NotPowerOfTwo { field, value } => {
+                write!(
+                    f,
+                    "invalid {field}: {value} (expected a nonzero power of two)"
+                )
+            }
+            ConfigError::Zero { field } => {
+                write!(f, "invalid {field}: 0 (expected a nonzero value)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which CE wins when several contend for the same shared resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Arbitration {
@@ -104,30 +185,119 @@ impl CacheGeometry {
     }
 
     /// Check internal consistency (all powers of two, nonzero).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.line_bytes.is_power_of_two() {
-            return Err(format!("line_bytes {} not a power of two", self.line_bytes));
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "cache.line_bytes",
+                value: self.line_bytes,
+            });
         }
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(format!("banks {} not a nonzero power of two", self.banks));
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "cache.banks",
+                value: self.banks as u64,
+            });
         }
         if self.assoc == 0 {
-            return Err("assoc must be nonzero".into());
+            return Err(ConfigError::Zero {
+                field: "cache.assoc",
+            });
         }
         let lines = self.total_bytes / self.line_bytes;
         if lines == 0 || !lines.is_multiple_of((self.banks * self.assoc) as u64) {
-            return Err(format!(
-                "{} lines do not divide evenly into {} banks x {} ways",
-                lines, self.banks, self.assoc
+            return Err(ConfigError::out_of_range(
+                "cache.total_bytes",
+                self.total_bytes,
+                format!(
+                    "{} lines must divide evenly into {} banks x {} ways",
+                    lines, self.banks, self.assoc
+                ),
             ));
         }
         if !self.sets_per_bank().is_power_of_two() {
-            return Err(format!(
-                "sets_per_bank {} not a power of two",
-                self.sets_per_bank()
-            ));
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "cache.sets_per_bank",
+                value: self.sets_per_bank() as u64,
+            });
         }
         Ok(())
+    }
+}
+
+/// Observability knobs for the `fx8-trace` layer.
+///
+/// Both pillars default **off**, and a disabled tracer costs the simulator
+/// nothing: [`crate::Cluster`] only carries an unarmed `Option` and every
+/// hook sits outside the dense stepper's lane loop (see DESIGN.md §11).
+/// The knobs are pure observers — turning them on never changes machine
+/// trajectories, RNG draws, or state digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record the metrics registry (per-engine cycle split, crossbar
+    /// per-bank grants and retries, membus busy cycles, CCB
+    /// dispatch-to-grant latency histogram, VM fault counts), sampled at
+    /// window granularity.
+    pub metrics: bool,
+    /// Record the structured event trace (concurrency transitions, CCB
+    /// edges, probe triggers, fast-forward and dense windows) into a
+    /// bounded ring buffer, exportable as Chrome `trace_event` JSON.
+    pub events: bool,
+    /// Capacity of the event ring buffer; on overflow the oldest records
+    /// are dropped and counted. Pre-allocated once, so steady-state
+    /// tracing stays allocation-free.
+    pub event_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Default ring capacity: enough for the quick study's busiest
+    /// session without pushing resident memory past a few MB.
+    pub const DEFAULT_EVENT_CAPACITY: usize = 64 * 1024;
+
+    /// Everything disabled (the default): zero-cost observability.
+    pub fn off() -> Self {
+        TraceConfig {
+            metrics: false,
+            events: false,
+            event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Metrics registry only — no event ring.
+    pub fn metrics_only() -> Self {
+        TraceConfig {
+            metrics: true,
+            ..Self::off()
+        }
+    }
+
+    /// Both pillars on.
+    pub fn full() -> Self {
+        TraceConfig {
+            metrics: true,
+            events: true,
+            event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Is any instrumentation requested?
+    pub fn enabled(&self) -> bool {
+        self.metrics || self.events
+    }
+
+    /// Validate: an enabled event trace needs a nonzero ring.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.events && self.event_capacity == 0 {
+            return Err(ConfigError::Zero {
+                field: "trace.event_capacity",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
     }
 }
 
@@ -188,6 +358,9 @@ pub struct MachineConfig {
     /// exists so differential tests can compare both paths. Builds with
     /// the `audit` feature ignore it, exactly like [`Self::fast_forward`].
     pub dense_stepping: bool,
+    /// `fx8-trace` observability: metrics registry and structured event
+    /// trace, both off by default and free when off.
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -224,6 +397,7 @@ impl MachineConfig {
             ns_per_cycle: 170,
             fast_forward: true,
             dense_stepping: true,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -260,6 +434,7 @@ impl MachineConfig {
             ns_per_cycle: 170,
             fast_forward: true,
             dense_stepping: true,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -274,18 +449,132 @@ impl MachineConfig {
     }
 
     /// Validate geometry invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_ces == 0 || self.n_ces > 8 {
-            return Err(format!("n_ces {} out of range 1..=8", self.n_ces));
+            return Err(ConfigError::out_of_range(
+                "n_ces",
+                self.n_ces,
+                "expected 1..=8",
+            ));
         }
         self.cache.validate()?;
-        if !self.icache_bytes.is_power_of_two() || !self.icache_line_bytes.is_power_of_two() {
-            return Err("icache sizes must be powers of two".into());
+        if !self.icache_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "icache_bytes",
+                value: self.icache_bytes,
+            });
+        }
+        if !self.icache_line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                field: "icache_line_bytes",
+                value: self.icache_line_bytes,
+            });
         }
         if self.mem_buses == 0 {
-            return Err("need at least one memory bus".into());
+            return Err(ConfigError::Zero { field: "mem_buses" });
         }
+        self.trace.validate()?;
         Ok(())
+    }
+
+    /// Start a validated [`MachineConfigBuilder`] from the FX/8 preset.
+    /// Prefer this over struct-literal construction: literals bypass
+    /// `validate()` and break whenever a field is added.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::fx8()
+    }
+}
+
+/// Builder for [`MachineConfig`].
+///
+/// Starts from a preset ([`MachineConfigBuilder::fx8`] or
+/// [`MachineConfigBuilder::tiny`]), overrides individual fields, and runs
+/// the full validation chain in [`MachineConfigBuilder::build`], returning
+/// [`ConfigError`] instead of panicking later in `Cluster::new`.
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, v: $ty) -> Self {
+                self.cfg.$name = v;
+                self
+            }
+        )*
+    };
+}
+
+impl MachineConfigBuilder {
+    /// Start from the measured FX/8 ([`MachineConfig::fx8`]).
+    pub fn fx8() -> Self {
+        MachineConfigBuilder {
+            cfg: MachineConfig::fx8(),
+        }
+    }
+
+    /// Start from the tiny test machine ([`MachineConfig::tiny`]).
+    pub fn tiny() -> Self {
+        MachineConfigBuilder {
+            cfg: MachineConfig::tiny(),
+        }
+    }
+
+    /// Start from an existing configuration.
+    pub fn from_config(cfg: MachineConfig) -> Self {
+        MachineConfigBuilder { cfg }
+    }
+
+    builder_setters! {
+        /// Number of Computing Elements (1..=8).
+        n_ces: usize,
+        /// Number of Interactive Processors.
+        n_ips: usize,
+        /// Per-CE instruction-cache capacity in bytes.
+        icache_bytes: u64,
+        /// Per-CE instruction-cache line size in bytes.
+        icache_line_bytes: u64,
+        /// Shared CE cache geometry.
+        cache: CacheGeometry,
+        /// Cycles for a shared-cache hit.
+        cache_hit_cycles: u64,
+        /// Main-memory access latency in cycles.
+        mem_latency_cycles: u64,
+        /// Number of memory buses.
+        mem_buses: usize,
+        /// Cycles to move one cache line over a memory bus.
+        line_transfer_cycles: u64,
+        /// Interleave factor of main memory modules.
+        mem_interleave: usize,
+        /// Cycles for the CCB to grant one iteration request.
+        ccb_grant_cycles: u64,
+        /// Arbitration discipline on the CCB grant chain.
+        ccb_arbitration: Arbitration,
+        /// Grant propagation delay per daisy-chain hop.
+        ccb_chain_hop_cycles: u64,
+        /// Arbitration discipline at each crossbar cache bank.
+        crossbar_arbitration: Arbitration,
+        /// Cycles a CE stalls on a captured page fault.
+        fault_stall_cycles: u64,
+        /// Total physical memory in bytes.
+        phys_mem_bytes: u64,
+        /// Nanoseconds per bus cycle.
+        ns_per_cycle: u64,
+        /// Quiescence-aware fast-forward knob.
+        fast_forward: bool,
+        /// Dense-window batch stepping knob.
+        dense_stepping: bool,
+        /// `fx8-trace` observability knobs.
+        trace: TraceConfig,
+    }
+
+    /// Validate and return the finished configuration.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -429,5 +718,61 @@ mod tests {
         let c = MachineConfig::fx8();
         assert_eq!(c.clone(), c);
         assert_ne!(MachineConfig::tiny(), c);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_costs_nothing_to_validate() {
+        let c = MachineConfig::fx8();
+        assert!(!c.trace.enabled());
+        assert_eq!(c.trace, TraceConfig::off());
+        assert!(TraceConfig::metrics_only().enabled());
+        assert!(TraceConfig::full().events);
+        let mut bad = MachineConfig::fx8();
+        bad.trace = TraceConfig::full();
+        bad.trace.event_capacity = 0;
+        assert_eq!(bad.validate().unwrap_err().field(), "trace.event_capacity");
+    }
+
+    #[test]
+    fn config_errors_name_field_and_value() {
+        let mut c = MachineConfig::fx8();
+        c.n_ces = 9;
+        let e = c.validate().unwrap_err();
+        assert_eq!(e.field(), "n_ces");
+        assert!(e.to_string().contains("n_ces"));
+        assert!(e.to_string().contains('9'));
+
+        let mut g = MachineConfig::fx8().cache;
+        g.line_bytes = 33;
+        let e = g.validate().unwrap_err();
+        assert_eq!(
+            e,
+            ConfigError::NotPowerOfTwo {
+                field: "cache.line_bytes",
+                value: 33
+            }
+        );
+        assert!(e.to_string().contains("33"));
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let c = MachineConfig::builder()
+            .n_ces(4)
+            .fast_forward(false)
+            .trace(TraceConfig::metrics_only())
+            .build()
+            .unwrap();
+        assert_eq!(c.n_ces, 4);
+        assert!(!c.fast_forward);
+        assert!(c.trace.metrics);
+        // Everything not overridden keeps the preset value.
+        assert_eq!(c.cache, MachineConfig::fx8().cache);
+
+        let err = MachineConfigBuilder::tiny()
+            .mem_buses(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Zero { field: "mem_buses" });
     }
 }

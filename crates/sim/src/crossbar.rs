@@ -22,6 +22,9 @@ pub struct CrossbarStats {
     pub denials: u64,
     /// Denials broken down by requesting CE.
     pub denials_by_ce: Vec<u64>,
+    /// Grants broken down by cache bank (the `fx8-trace` contention view:
+    /// a skewed distribution means the interleave is not spreading lines).
+    pub grants_by_bank: Vec<u64>,
 }
 
 /// The crossbar arbiter.
@@ -58,6 +61,7 @@ impl Crossbar {
             prio,
             stats: CrossbarStats {
                 denials_by_ce: vec![0; n_ces],
+                grants_by_bank: vec![0; banks],
                 ..Default::default()
             },
         }
@@ -191,6 +195,7 @@ impl Crossbar {
             let w: CeId = self.winner_of(mask, self.rotor[bank]);
             won |= 1 << w;
             self.stats.grants += 1;
+            self.stats.grants_by_bank[bank] += 1;
             self.bank_busy_until[bank] = now + service_cycles;
             self.rotor[bank] = w;
             self.deny_mask(mask & !(1 << w));

@@ -53,6 +53,7 @@
 //! | [`stream`] | the abstract operation stream a CE executes |
 //! | [`cluster`] | the assembled machine |
 //! | [`probe`] | the logic-analyzer probe word |
+//! | [`trace`] | `fx8-trace`: zero-cost-when-off self-observability |
 
 pub mod addr;
 pub mod audit;
@@ -69,10 +70,11 @@ pub mod membus;
 pub mod opcode;
 pub mod probe;
 pub mod stream;
+pub mod trace;
 pub mod vm;
 
 pub use cluster::Cluster;
-pub use config::MachineConfig;
+pub use config::{ConfigError, MachineConfig, MachineConfigBuilder, TraceConfig};
 pub use probe::ProbeWord;
 
 /// Simulated time in bus cycles.

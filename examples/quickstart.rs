@@ -6,12 +6,15 @@
 use fx8_study::prelude::*;
 
 fn main() {
-    // A scaled-down study: 3 short random-sampling sessions.
-    let mut cfg = StudyConfig::quick();
-    cfg.n_random = 4;
-    cfg.session_hours = vec![1.5, 1.5, 1.5, 1.5];
-    cfg.n_triggered = 0;
-    cfg.n_transition = 0;
+    // A scaled-down study: 4 short random-sampling sessions, assembled
+    // with the validating builder.
+    let cfg = StudyConfigBuilder::quick()
+        .n_random(4)
+        .session_hours(vec![1.5, 1.5, 1.5, 1.5])
+        .n_triggered(0)
+        .n_transition(0)
+        .build()
+        .expect("quickstart study config is valid");
     println!("running {} random-sampling sessions...", cfg.n_random);
     let study = Study::run(cfg);
 

@@ -12,14 +12,14 @@ use fx8_study::core::study::{Study, StudyConfig};
 use fx8_study::core::{figures, tables};
 
 fn main() {
-    let cfg = StudyConfig {
-        n_random: 4,
-        session_hours: vec![1.5; 4],
-        n_triggered: 3,
-        captures_per_triggered: 25,
-        n_transition: 0,
-        ..StudyConfig::paper()
-    };
+    let cfg = StudyConfig::builder()
+        .n_random(4)
+        .session_hours(vec![1.5; 4])
+        .n_triggered(3)
+        .captures_per_triggered(25)
+        .n_transition(0)
+        .build()
+        .expect("regression study config is valid");
     eprintln!(
         "running {} random + {} triggered sessions...",
         cfg.n_random, cfg.n_triggered

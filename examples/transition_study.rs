@@ -22,14 +22,14 @@ fn ends_to_middle(counts: &EventCounts) -> f64 {
 }
 
 fn main() {
-    let cfg = StudyConfig {
-        n_random: 0,
-        session_hours: vec![],
-        n_triggered: 0,
-        n_transition: 3,
-        captures_per_transition: 30,
-        ..StudyConfig::paper()
-    };
+    let cfg = StudyConfig::builder()
+        .n_random(0)
+        .session_hours(vec![])
+        .n_triggered(0)
+        .n_transition(3)
+        .captures_per_transition(30)
+        .build()
+        .expect("transition study config is valid");
     eprintln!(
         "capturing loop drains from {} transition sessions...",
         cfg.n_transition

@@ -11,13 +11,13 @@ use fx8_study::core::study::{Study, StudyConfig};
 use fx8_study::core::{figures, tables};
 
 fn main() {
-    let cfg = StudyConfig {
-        n_random: 4,
-        session_hours: vec![1.0, 1.0, 1.5, 1.5],
-        n_triggered: 0,
-        n_transition: 0,
-        ..StudyConfig::paper()
-    };
+    let cfg = StudyConfig::builder()
+        .n_random(4)
+        .session_hours(vec![1.0, 1.0, 1.5, 1.5])
+        .n_triggered(0)
+        .n_transition(0)
+        .build()
+        .expect("characterization study config is valid");
     eprintln!(
         "sampling {} sessions ({} hours of machine time)...",
         cfg.n_random,

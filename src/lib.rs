@@ -52,10 +52,13 @@ pub use fx8_stats as stats;
 pub use fx8_workload as workload;
 
 /// The names most programs want in scope.
+///
+/// Re-exports [`fx8_core::prelude`] (Study, builders, observability,
+/// [`fx8_core::prelude::ConfigError`], …) plus the machine- and
+/// statistics-level types a direct simulation driver needs.
 pub mod prelude {
-    pub use fx8_core::study::{Study, StudyConfig};
-    pub use fx8_monitor::reduce::EventCounts;
-    pub use fx8_sim::{Cluster, MachineConfig, ProbeWord};
+    pub use fx8_core::prelude::*;
+    pub use fx8_sim::{Cluster, ProbeWord};
     pub use fx8_stats::measures::ConcurrencyMeasures;
     pub use fx8_workload::mix::WorkloadMix;
 }

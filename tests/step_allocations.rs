@@ -6,7 +6,7 @@
 //! must perform zero allocations. The simulator is deterministic, so this
 //! is a stable property, not a flaky timing assertion.
 
-use fx8_sim::{Cluster, MachineConfig};
+use fx8_sim::{Cluster, MachineConfig, TraceConfig};
 use fx8_workload::{kernels, WorkloadMix};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -85,4 +85,35 @@ fn step_allocations_loop_steady_state_is_zero() {
     c.run(50_000);
     let (allocs, _) = allocations_during(|| c.run(10_000));
     assert_eq!(allocs, 0, "loop stepping allocated {allocs} times");
+}
+
+#[test]
+fn step_allocations_traced_loop_steady_state_is_zero() {
+    // An armed tracer must not re-introduce heap traffic: the event ring is
+    // pre-allocated, overflow evicts in place, and metrics are plain
+    // counters. Warm past the point where the ring first fills so eviction
+    // (the steady state for a busy loop) is what gets measured.
+    let mut cfg = MachineConfig::fx8();
+    cfg.trace = TraceConfig {
+        metrics: true,
+        events: true,
+        event_capacity: 4096,
+    };
+    let mut c = Cluster::new(cfg, 24);
+    c.set_ip_intensity(WorkloadMix::csrd_production().ip_intensity);
+    let k = kernels::sor_sweep(1026);
+    c.mount_loop(
+        k.instantiate(1),
+        0,
+        1_000_000_000,
+        kernels::glue_serial().instantiate(1),
+        1,
+    );
+    c.run(50_000);
+    let (allocs, _) = allocations_during(|| c.run(10_000));
+    assert_eq!(allocs, 0, "traced loop stepping allocated {allocs} times");
+    assert!(
+        c.metrics().events_recorded > 0,
+        "the tracer was armed and recording"
+    );
 }

@@ -258,10 +258,22 @@ impl<'a> Parser<'a> {
                 }
                 _ => {
                     // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unescaped).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("non-UTF8 string"))?;
-                    let c = rest.chars().next().unwrap();
+                    // through unescaped). Validate at most one scalar's
+                    // worth of bytes: validating the whole remaining input
+                    // here made string parsing quadratic in document size.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(chunk) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err(Error::custom("non-UTF8 string")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
