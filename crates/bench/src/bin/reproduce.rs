@@ -19,9 +19,17 @@
 //!   `BENCH_throughput.json` at the repo root (`current` key;
 //!   `--as-baseline` rewrites `baseline` too; a binary built with
 //!   `--features audit` records under the `audited` key instead).
+//!   The harness is CoV-adaptive: each mounted state is re-timed until the
+//!   windows' rates agree to within `--cov-threshold` (default 0.03, i.e.
+//!   3%) or `--max-windows` (default 12) windows have run; the JSON gains
+//!   per-kernel `*_cov` fields and a total `bench_windows` count alongside
+//!   the rates, so every committed number carries its own noise bound.
 //!   `--check-regression` measures but does **not** rewrite the file: it
-//!   exits nonzero if a mounted-state rate fell below its tolerance. CI's
-//!   `bench-smoke` job runs this to catch throughput regressions.
+//!   exits nonzero if a mounted-state rate fell below its tolerance,
+//!   skipping (with a warning) any state whose fresh measurement never
+//!   settled under the CoV threshold — a noisy runner must not fail the
+//!   canary spuriously. CI's `bench-smoke` job runs this to catch
+//!   throughput regressions.
 //! * `audit` — run the study with the auditor's report only (no tables);
 //!   meaningful when built with `--features audit`.
 //! * `metrics` — run the study with the `fx8-trace` metrics registry armed
@@ -50,7 +58,8 @@ fn usage() -> &'static str {
     "usage: reproduce <run|bench|audit|metrics|trace> [options]\n\
      \n\
      reproduce run     [--quick] [--audit] [--out DIR] [IDS...]\n\
-     reproduce bench   [--as-baseline | --check-regression]\n\
+     reproduce bench   [--as-baseline | --check-regression] \
+     [--cov-threshold F] [--max-windows N]\n\
      reproduce audit   [--quick]\n\
      reproduce metrics [--quick] [--json FILE]\n\
      reproduce trace   [--quick] [--out FILE] [--event-capacity N]\n\
@@ -71,6 +80,7 @@ enum Cmd {
     Bench {
         as_baseline: bool,
         check_regression: bool,
+        opts: throughput::BenchOptions,
     },
     Audit {
         quick: bool,
@@ -108,13 +118,26 @@ fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     Ok(Cmd::Run(args))
 }
 
-fn parse_bench(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+fn parse_bench(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut as_baseline = false;
     let mut check_regression = false;
-    for a in argv {
+    let mut opts = throughput::BenchOptions::default();
+    while let Some(a) = argv.next() {
         match a.as_str() {
             "--as-baseline" => as_baseline = true,
             "--check-regression" => check_regression = true,
+            "--cov-threshold" => {
+                let v = argv.next().ok_or("--cov-threshold requires a fraction")?;
+                opts.cov_threshold = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--cov-threshold: not a number: {v}"))?;
+            }
+            "--max-windows" => {
+                let v = argv.next().ok_or("--max-windows requires a number")?;
+                opts.max_windows = v
+                    .parse::<u32>()
+                    .map_err(|_| format!("--max-windows: not a number: {v}"))?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -128,6 +151,7 @@ fn parse_bench(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     Ok(Cmd::Bench {
         as_baseline,
         check_regression,
+        opts,
     })
 }
 
@@ -240,6 +264,7 @@ fn parse_legacy(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
             Cmd::Bench {
                 as_baseline,
                 check_regression,
+                opts: throughput::BenchOptions::default(),
             },
         )
     } else {
@@ -291,21 +316,21 @@ fn parse_cmd() -> Result<Cmd, String> {
 }
 
 /// Allowed shortfall of a fresh measurement against the committed rate
-/// before `--check-regression` fails: benchmarks on shared CI runners
-/// jitter, a real regression from a code change does not hide inside 15%.
-const REGRESSION_TOLERANCE: f64 = 0.15;
-
-/// Looser floor for the wait-dominated states (idle, serial, join-wait):
-/// their wall time per simulated cycle is dominated by bulk-skip
-/// bookkeeping, so a handful of scheduler hiccups moves the rate far more
-/// than it moves the compute-bound loop measurement.
-const WAIT_STATE_TOLERANCE: f64 = 0.35;
+/// before `--check-regression` fails. Uniform across mounted states and
+/// much tighter than the old 15%/35% split: the CoV-adaptive harness
+/// re-times each state until its windows agree (and skips the gate
+/// entirely when they won't), so the tolerance only has to absorb
+/// sub-threshold jitter, not worst-case scheduler noise.
+const REGRESSION_TOLERANCE: f64 = 0.08;
 
 /// Measure throughput against the committed `current` entry without
 /// rewriting the file. Fails if any mounted-state rate dropped below its
 /// tolerance: the loop rate guards the dense stepper, the idle / serial /
-/// join-wait rates guard the fast-forward engine.
-fn run_check_regression(path: &str) -> ExitCode {
+/// join-wait rates guard the fast-forward engine. States whose fresh
+/// measurement never settled under the CoV threshold are reported but not
+/// gated — their windows disagree too much for an 8% comparison to mean
+/// anything.
+fn run_check_regression(path: &str, opts: &throughput::BenchOptions) -> ExitCode {
     let committed = match std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok())
@@ -317,7 +342,7 @@ fn run_check_regression(path: &str) -> ExitCode {
         }
     };
     eprintln!("measuring simulation throughput for regression check...");
-    let fresh = throughput::measure(1.0, StudyConfig::quick());
+    let fresh = throughput::measure_with(1.0, StudyConfig::quick(), opts);
     print!("{}", throughput::render("committed", &committed));
     print!("{}", throughput::render("fresh", &fresh));
     let checks = [
@@ -325,42 +350,52 @@ fn run_check_regression(path: &str) -> ExitCode {
             "loop",
             committed.loop_cycles_per_sec,
             fresh.loop_cycles_per_sec,
-            REGRESSION_TOLERANCE,
+            fresh.loop_cov,
         ),
         (
             "idle",
             committed.idle_cycles_per_sec,
             fresh.idle_cycles_per_sec,
-            WAIT_STATE_TOLERANCE,
+            fresh.idle_cov,
         ),
         (
             "serial",
             committed.serial_cycles_per_sec,
             fresh.serial_cycles_per_sec,
-            WAIT_STATE_TOLERANCE,
+            fresh.serial_cov,
         ),
         (
             "ff_loop",
             committed.ff_loop_cycles_per_sec,
             fresh.ff_loop_cycles_per_sec,
-            WAIT_STATE_TOLERANCE,
+            fresh.ff_loop_cov,
         ),
     ];
+    let tol_pct = (REGRESSION_TOLERANCE * 100.0) as u32;
     let mut regressed = false;
-    for (name, committed_rate, fresh_rate, tol) in checks {
-        let floor = committed_rate * (1.0 - tol);
+    for (name, committed_rate, fresh_rate, fresh_cov) in checks {
+        if fresh_cov >= opts.cov_threshold {
+            eprintln!(
+                "WARNING: skipping {name} regression gate: windows never settled \
+                 (CoV {:.1}% >= threshold {:.1}%) — runner too noisy for a {tol_pct}% \
+                 comparison",
+                fresh_cov * 100.0,
+                opts.cov_threshold * 100.0,
+            );
+            continue;
+        }
+        let floor = committed_rate * (1.0 - REGRESSION_TOLERANCE);
         if fresh_rate < floor {
             eprintln!(
                 "REGRESSION: {name} throughput {fresh_rate:.0} cycles/s fell below \
-                 {floor:.0} ({}% under the committed {committed_rate:.0})",
-                (tol * 100.0) as u32,
+                 {floor:.0} ({tol_pct}% under the committed {committed_rate:.0})",
             );
             regressed = true;
         } else {
             eprintln!(
-                "ok: {name} throughput {fresh_rate:.0} cycles/s within {}% of \
-                 committed {committed_rate:.0}",
-                (tol * 100.0) as u32,
+                "ok: {name} throughput {fresh_rate:.0} cycles/s within {tol_pct}% of \
+                 committed {committed_rate:.0} (CoV {:.1}%)",
+                fresh_cov * 100.0,
             );
         }
     }
@@ -371,10 +406,10 @@ fn run_check_regression(path: &str) -> ExitCode {
 }
 
 /// Measure throughput and merge into `BENCH_throughput.json` at the repo root.
-fn run_bench_json(as_baseline: bool) -> ExitCode {
+fn run_bench_json(as_baseline: bool, opts: &throughput::BenchOptions) -> ExitCode {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     eprintln!("measuring simulation throughput (idle / serial / loop / ff loop / quick study)...");
-    let current = throughput::measure(1.0, StudyConfig::quick());
+    let current = throughput::measure_with(1.0, StudyConfig::quick(), opts);
     let previous = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok());
@@ -602,12 +637,19 @@ fn main() -> ExitCode {
         Cmd::Bench {
             as_baseline,
             check_regression,
+            opts,
         } => {
+            // The typed validation path: bad knob values exit 2 with a
+            // one-line diagnostic naming the field, like any other
+            // configuration error.
+            if let Err(e) = opts.validate() {
+                return config_error(e);
+            }
             if check_regression {
                 let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
-                run_check_regression(path)
+                run_check_regression(path, &opts)
             } else {
-                run_bench_json(as_baseline)
+                run_bench_json(as_baseline, &opts)
             }
         }
         Cmd::Audit { quick } => cmd_audit(quick),

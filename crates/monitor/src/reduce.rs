@@ -16,7 +16,7 @@
 //! corresponding to cache misses (memory-bus `Fetch` starts per record).
 
 use fx8_sim::opcode::{CeBusOp, MemBusOp};
-use fx8_sim::ProbeWord;
+use fx8_sim::{LaneWord, ProbeWord};
 use serde::{Deserialize, Serialize};
 
 /// The reduced event counts of one or more acquisition buffers.
@@ -71,21 +71,29 @@ impl EventCounts {
     /// regimes do less work than the lane-by-lane scan.
     pub fn accumulate_slice(&mut self, records: &[ProbeWord]) {
         let n = self.n_ces;
+        // Mask algebra runs in [`LaneWord`] width, not the probe word's
+        // current `u8`: the reduction is ready for the wider probe words a
+        // 16/32/64-CE cluster would emit (ROADMAP item 1) — only the
+        // widening casts below are tied to today's 8-lane capture format.
         // Lanes beyond the cluster width never contribute — exactly the
         // `0..n_ces` bound of the word-at-a-time loop.
-        let width_mask = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 };
+        let width_mask: LaneWord = if n >= LaneWord::BITS as usize {
+            LaneWord::MAX
+        } else {
+            (1 << n) - 1
+        };
         let idle = CeBusOp::Idle.index();
         for w in records {
             let active = w.active_count() as usize;
             debug_assert!(active <= n, "more active CEs than the cluster has");
             self.num[active.min(n)] += 1;
-            let mut m = w.active_mask & width_mask;
+            let mut m = LaneWord::from(w.active_mask) & width_mask;
             while m != 0 {
                 let j = m.trailing_zeros() as usize;
                 self.prof[j] += 1;
                 m &= m - 1;
             }
-            let busy = w.busy_ce_mask() & width_mask;
+            let busy = LaneWord::from(w.busy_ce_mask()) & width_mask;
             self.ceop[idle] += n as u64 - u64::from(busy.count_ones());
             let mut b = busy;
             while b != 0 {

@@ -14,7 +14,66 @@ use crate::opcode::CeBusOp;
 use crate::stream::{CodeRegion, Op};
 use crate::{CeId, Cycle};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+
+/// FIFO operation queue: a flat `Vec` plus a head cursor.
+///
+/// The stream generators (loop-iteration bodies, serial block code) append
+/// straight into the backing vector via [`OpQueue::append_buf`], so a
+/// refill is a single template copy with no staging buffer in between, and
+/// `pop_front` is an index bump instead of a ring-buffer rotation. The
+/// buffer rewinds when it drains, so one iteration's capacity is reused by
+/// the next.
+#[derive(Debug, Default)]
+pub struct OpQueue {
+    buf: Vec<Op>,
+    head: usize,
+}
+
+impl OpQueue {
+    /// Next queued op, if any.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<Op> {
+        if self.head < self.buf.len() {
+            let op = self.buf[self.head];
+            self.head += 1;
+            if self.head == self.buf.len() {
+                self.buf.clear();
+                self.head = 0;
+            }
+            Some(op)
+        } else {
+            None
+        }
+    }
+
+    /// Whether no ops are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Queued ops not yet popped.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Drop all queued ops.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Append one op.
+    pub fn push_back(&mut self, op: Op) {
+        self.buf.push(op);
+    }
+
+    /// Append-only access to the backing storage, for stream generators
+    /// that fill a `Vec<Op>`: anything they push lands at the queue tail.
+    pub fn append_buf(&mut self) -> &mut Vec<Op> {
+        &mut self.buf
+    }
+}
 
 /// What the CE is executing on behalf of the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +147,7 @@ pub struct Ce {
     /// Current execution state.
     pub state: CeState,
     /// Queued operations (refilled from the mounted streams).
-    pub ops: VecDeque<Op>,
+    pub ops: OpQueue,
     /// Operation currently in progress (e.g. a load awaiting crossbar grant).
     pub cur_op: Option<Op>,
     /// Remaining instructions of the current `Compute` burst.
@@ -114,7 +173,7 @@ impl Ce {
             icache: ICache::new(icache_bytes, icache_line_bytes),
             role: CeRole::Inactive,
             state: CeState::Ready,
-            ops: VecDeque::new(),
+            ops: OpQueue::default(),
             cur_op: None,
             compute_left: 0,
             code: None,

@@ -19,7 +19,7 @@ use crate::opcode::{CeBusOp, MemBusOp};
 use crate::probe::{ProbeWord, MAX_CES};
 use crate::stream::{LoopBody, Op, SerialCode};
 use crate::vm::{FaultMode, Vm};
-use crate::{Asid, CeId, Cycle};
+use crate::{Asid, CeId, Cycle, LaneWord};
 
 /// What is mounted on the cluster.
 enum Load {
@@ -145,10 +145,10 @@ pub struct Cluster {
     now: Cycle,
     pub(crate) ces: Vec<Ce>,
     resume_actions: Vec<Option<ResumeAction>>,
-    /// Whether the current op's VM check has been performed.
-    vm_checked: Vec<bool>,
-    /// Whether the current op's instruction fetch has been performed.
-    op_fetched: Vec<bool>,
+    /// Per-CE bit: the current op's VM check has been performed.
+    vm_checked: LaneWord,
+    /// Per-CE bit: the current op's instruction fetch has been performed.
+    op_fetched: LaneWord,
     pub(crate) caches: CacheSystem,
     pub(crate) crossbar: Crossbar,
     pub(crate) membus: MemBusSystem,
@@ -158,11 +158,6 @@ pub struct Cluster {
     load: Load,
     detached: Vec<Option<(Box<dyn SerialCode>, Asid)>>,
     fault_seq: u64,
-    /// Scratch op buffer for serial/detached refills, reused across cycles
-    /// so the steady-state stepper never touches the heap.
-    refill_buf: Vec<Op>,
-    /// Scratch op buffer for loop-iteration generation, likewise reused.
-    iter_buf: Vec<Op>,
     /// Earliest future cycle an armed analyzer needs to observe; the
     /// fast-forward engine never skips up to or past it, so a monitor can
     /// thread its probe/timeout deadline through [`Cluster::set_next_probe_at`]
@@ -219,14 +214,12 @@ impl Cluster {
             load: Load::Idle,
             detached: (0..n).map(|_| None).collect(),
             resume_actions: vec![None; n],
-            vm_checked: vec![false; n],
-            op_fetched: vec![false; n],
+            vm_checked: 0,
+            op_fetched: 0,
             ces,
             now: 0,
             cfg,
             fault_seq: 0,
-            refill_buf: Vec::new(),
-            iter_buf: Vec::new(),
             next_probe_at: None,
             cycles_skipped: 0,
             cycles_dense: 0,
@@ -328,9 +321,11 @@ impl Cluster {
         self.ip.set_intensity(intensity);
     }
 
+    #[inline]
     fn reset_op_flags(&mut self, ce: CeId) {
-        self.vm_checked[ce] = false;
-        self.op_fetched[ce] = false;
+        let keep = !(1 << ce);
+        self.vm_checked &= keep;
+        self.op_fetched &= keep;
     }
 
     /// Unmount everything from the cluster (detached jobs stay).
@@ -525,45 +520,40 @@ impl Cluster {
     fn refill_ops(&mut self, ce: CeId) -> bool {
         const REFILL_ATTEMPTS: usize = 4;
         let id = ce;
-        // The scratch buffer is taken out of self so the stream (also
-        // borrowed from self) can fill it; it goes back before returning.
-        let mut buf = std::mem::take(&mut self.refill_buf);
-        buf.clear();
-        let refilled = match self.ces[id].role {
+        // Only ever called with a drained queue, so the generators append
+        // straight into the queue's backing storage — no staging copy.
+        debug_assert!(self.ces[id].ops.is_empty());
+        match self.ces[id].role {
             CeRole::Worker => false, // iteration boundary handled by caller
-            CeRole::ClusterSerial => 'serial: {
+            CeRole::ClusterSerial => {
                 for _ in 0..REFILL_ATTEMPTS {
                     match &mut self.load {
                         Load::Serial { code, .. } | Load::Drained { code, .. } => {
-                            code.gen_block(id, &mut buf);
+                            code.gen_block(id, self.ces[id].ops.append_buf());
                         }
-                        _ => break 'serial false,
+                        _ => return false,
                     }
-                    if !buf.is_empty() {
-                        self.ces[id].ops.extend(buf.drain(..));
-                        break 'serial true;
+                    if !self.ces[id].ops.is_empty() {
+                        return true;
                     }
                 }
                 false
             }
-            CeRole::Detached => 'detached: {
+            CeRole::Detached => {
                 for _ in 0..REFILL_ATTEMPTS {
                     if let Some((code, _)) = &mut self.detached[id] {
-                        code.gen_block(id, &mut buf);
+                        code.gen_block(id, self.ces[id].ops.append_buf());
                     } else {
-                        break 'detached false;
+                        return false;
                     }
-                    if !buf.is_empty() {
-                        self.ces[id].ops.extend(buf.drain(..));
-                        break 'detached true;
+                    if !self.ces[id].ops.is_empty() {
+                        return true;
                     }
                 }
                 false
             }
             CeRole::Inactive => false,
-        };
-        self.refill_buf = buf;
-        refilled
+        }
     }
 
     /// The address space of the cluster program currently mounted, or the
@@ -708,7 +698,7 @@ impl Cluster {
         }
         match ce.cur_op {
             Some(Op::Load(a)) | Some(Op::Store(a))
-                if self.op_fetched[id] && self.vm_checked[id] =>
+                if self.op_fetched & self.vm_checked & (1 << id) != 0 =>
             {
                 Some(a.line(self.cfg.cache.line_bytes))
             }
@@ -963,15 +953,37 @@ impl Cluster {
     /// Where the scalar stepper re-derives every CE's situation from its
     /// state enum each cycle, this kernel packs the lane structure once at
     /// window entry — ready/await-iter/await-sync/stalled/fault lanes as
-    /// bitmasks, wake stamps and sync targets in fixed per-lane arrays —
-    /// and then advances cycles touching only the lanes that can act,
-    /// found by `trailing_zeros` iteration. Crossbar requests are
-    /// collected as per-bank requester masks and resolved through
-    /// [`Crossbar::arbitrate_masks`], the mask-native twin of the scalar
-    /// arbitration path. Statistics that accrue per cycle (instruction
-    /// retirements, bus-busy and wait cycles, active cycles) are summed in
-    /// local accumulators and flushed once at window exit, as is the
-    /// membus start-ring gc (legal per the deferred-gc membus proof).
+    /// [`LaneWord`] bitmasks, wake stamps and sync targets in fixed
+    /// per-lane arrays — and then advances the masks as whole-word boolean
+    /// algebra, spending per-lane scalar work only on the cycles where a
+    /// lane *acts* (dispatches an op, wakes from a stall, crosses an
+    /// icache line, parks or posts a sync):
+    ///
+    /// * a lane whose crossbar request was denied is not revisited: the
+    ///   request (line, kind, bank) is invariant until granted, so the
+    ///   lane sits in a persistent `pending` word and a persistent
+    ///   bank×word requester table that [`Crossbar::arbitrate_masks_swar`]
+    ///   resolves by scanning only occupied banks;
+    /// * a lane retiring a compute burst inside its probed icache line is
+    ///   not revisited: its pure-retirement segment is bounded by
+    ///   [`Ce::compute_burst_horizon`] and applied in closed form at the
+    ///   segment end ([`Ce::advance_compute_burst`]), exactly as the
+    ///   fast-forward engine does across quiescent windows;
+    /// * sync waiters are revisited only on cycles adjacent to a
+    ///   `PostSync` (the sync register cannot otherwise move), with the
+    ///   same-cycle lower-to-higher lane visibility of the scalar loop
+    ///   preserved by re-arming the visit word mid-pass;
+    /// * per-cycle classification — who issues, who is denied, who waits —
+    ///   is mask expressions (`pending & !won`, popcounts), not branches.
+    ///
+    /// Per-lane counters that move by +1 per masked lane per cycle
+    /// (bus-busy occupancy, crossbar denials) accumulate via SWAR masked
+    /// adds ([`crate::swar::packed_add`]) into packed byte-lane words,
+    /// flushed into the real `u64` counters at window exit or before any
+    /// byte lane could saturate. The membus start-ring gc is deferred to
+    /// the window end (legal per the deferred-gc membus proof), and the
+    /// denial counters flush through [`Crossbar::note_denied_retries`] —
+    /// the same closed-form movement the fast-forward engine uses.
     ///
     /// The window ends at `limit`, at the armed-probe deadline, or at the
     /// first cycle where the CCB would resolve an iteration request (grant
@@ -991,12 +1003,12 @@ impl Cluster {
         debug_assert!(n <= MAX_CES);
 
         // --- Pack the lane structure.
-        let mut ready_mask = 0u32;
-        let mut iter_mask = 0u32;
-        let mut sync_mask = 0u32;
-        let mut stall_mask = 0u32;
-        let mut fault_mask = 0u32;
-        let mut active_lanes = 0u32;
+        let mut ready_mask: LaneWord = 0;
+        let mut iter_mask: LaneWord = 0;
+        let mut sync_mask: LaneWord = 0;
+        let mut stall_mask: LaneWord = 0;
+        let mut fault_mask: LaneWord = 0;
+        let mut active_lanes: LaneWord = 0;
         let mut until_arr = [0u64; MAX_CES];
         let mut stall_resume = [CeBusOp::Idle; MAX_CES];
         let mut sync_target_arr = [0u64; MAX_CES];
@@ -1005,7 +1017,7 @@ impl Cluster {
             if ce.role != CeRole::Worker {
                 continue; // inert unmounted lane (checked by eligibility)
             }
-            let bit = 1u32 << id;
+            let bit: LaneWord = 1 << id;
             active_lanes |= bit;
             match ce.state {
                 CeState::Ready => ready_mask |= bit,
@@ -1031,14 +1043,41 @@ impl Cluster {
             }
         }
 
-        // --- Per-window accumulators, flushed once at exit.
-        let mut instrs_acc = [0u64; MAX_CES];
-        let mut busbusy_acc = [0u64; MAX_CES];
-        let mut sync_wait_acc = 0u64;
-        let mut grant_wait_acc = 0u64;
+        // --- Persistent request state. A lane that has materialized a
+        // crossbar request keeps it — line, kind, and bank are invariant
+        // across denials — so denied lanes are never revisited; they live
+        // in `pending_mask` and in the bank×word requester table that
+        // `arbitrate_masks_swar` scans via the `occupied` bank bitmask.
+        let mut pending_mask: LaneWord = 0;
+        let mut bank_req: [LaneWord; DENSE_MAX_BANKS] = [0; DENSE_MAX_BANKS];
+        let mut occupied = 0u32;
         let mut req_line = [crate::addr::LineId(0); MAX_CES];
         let mut req_kind = [ReqKind::Read; MAX_CES];
-        let banks = self.cfg.cache.banks;
+        let mut req_bank = [0usize; MAX_CES];
+
+        // --- Pure compute-burst segments. A lane retiring inside its
+        // probed icache line is inert (one retirement per cycle, no shared
+        // state): it parks in `burst_mask` with its segment end in
+        // `until_arr` and the retirements are applied in closed form when
+        // the segment ends or the window exits.
+        let mut burst_mask: LaneWord = 0;
+        let mut burst_from = [0u64; MAX_CES];
+
+        // --- Per-window accumulators, flushed once at exit. Bus-busy
+        // occupancy and crossbar denials move by +1 per masked lane per
+        // cycle, so they accumulate as SWAR packed byte lanes; the rest
+        // see at most a handful of scalar adds per cycle.
+        let mut instrs_acc = [0u64; MAX_CES];
+        let mut busbusy_acc = [0u64; MAX_CES];
+        let mut deny_acc = [0u64; MAX_CES];
+        let mut busbusy_pk = 0u64;
+        let mut deny_pk = 0u64;
+        let mut pk_budget = crate::swar::PACKED_MAX;
+        let mut sync_wait_acc = 0u64;
+        let mut grant_wait_acc = 0u64;
+        // Sync waiters re-check the register only when it can have moved:
+        // at window entry and on cycles adjacent to a PostSync.
+        let mut sync_dirty = sync_mask != 0;
         let line_bytes = self.cfg.cache.line_bytes;
         let hit_cycles = self.cfg.cache_hit_cycles;
         let mut done = 0u64;
@@ -1061,38 +1100,50 @@ impl Cluster {
                 grant_wait_acc += iter_mask.count_ones() as u64;
             }
 
-            // Which stalled/fault lanes wake this cycle.
-            let mut due = 0u32;
+            // Which stalled/fault lanes wake this cycle; burst segments
+            // ending now materialize their retirements and rejoin the
+            // per-lane pass as ordinary Ready lanes.
+            let mut due: LaneWord = 0;
             if now >= next_wake {
                 next_wake = u64::MAX;
-                let mut m = stall_mask | fault_mask;
+                let mut m = stall_mask | fault_mask | burst_mask;
                 while m != 0 {
                     let id = m.trailing_zeros() as usize;
                     m &= m - 1;
                     if until_arr[id] <= now {
-                        due |= 1 << id;
+                        let bit: LaneWord = 1 << id;
+                        if burst_mask & bit != 0 {
+                            self.ces[id].advance_compute_burst(now - burst_from[id]);
+                            burst_mask &= !bit;
+                        } else {
+                            due |= bit;
+                        }
                     } else {
                         next_wake = next_wake.min(until_arr[id]);
                     }
                 }
             }
 
-            // --- Lane pass, ascending id (same order as the scalar
-            // per-CE loop: VM touch stamps and same-cycle PostSync →
-            // AwaitSync visibility depend on it). `impure` records whether
-            // any lane did more than pure waiting or in-line burst
-            // retirement; a cycle that stays pure with no crossbar request
-            // means the machine has gone quiescent, and the run loop's
-            // horizon scan can bulk-advance it far more cheaply than this
-            // kernel can step it.
+            // --- Lane pass over the lanes that can *act* this cycle,
+            // ascending id (same order as the scalar per-CE loop: VM touch
+            // stamps and same-cycle PostSync → AwaitSync visibility depend
+            // on it). Denied requesters, mid-segment bursts and (on clean
+            // cycles) parked sync waiters are excluded: their per-cycle
+            // effects are pure accrual, applied as word-wide mask
+            // arithmetic below. `impure` records whether any visited lane
+            // did more than pure waiting; a cycle that stays pure with no
+            // grant means the machine has gone quiescent, and the run
+            // loop's horizon scan can bulk-advance it far more cheaply
+            // than this kernel can step it.
             let mut impure = false;
-            let mut requesters = 0u32;
-            let mut bank_req = [0u32; DENSE_MAX_BANKS];
-            let mut visit = ready_mask | sync_mask | due;
+            let sync_check: LaneWord = if sync_dirty { sync_mask } else { 0 };
+            sync_dirty = false;
+            let mut sync_handled: LaneWord = 0;
+            let mut visit = (ready_mask & !pending_mask & !burst_mask) | due | sync_check;
             while visit != 0 {
                 let id = visit.trailing_zeros() as usize;
                 visit &= visit - 1;
-                let bit = 1u32 << id;
+                let bit: LaneWord = 1 << id;
 
                 if due & bit != 0 {
                     impure = true;
@@ -1122,6 +1173,7 @@ impl Cluster {
                 }
 
                 if sync_mask & bit != 0 {
+                    sync_handled |= bit;
                     if self.ccb.sync_reached(sync_target_arr[id]) {
                         impure = true;
                         self.ces[id].state = CeState::Ready;
@@ -1133,27 +1185,44 @@ impl Cluster {
                     continue;
                 }
 
-                // Ready lane. Pending instruction fetch first.
+                // Ready lane. Pending instruction fetch first (window
+                // entry, or re-entry after a stall fill).
                 if let Some(line) = self.ces[id].pending_ifetch {
-                    requesters |= bit;
+                    let b = self.caches.bank_of(line);
+                    pending_mask |= bit;
                     req_line[id] = line;
                     req_kind[id] = ReqKind::IFetch;
-                    bank_req[self.caches.bank_of(line)] |= bit;
+                    req_bank[id] = b;
+                    bank_req[b] |= bit;
+                    occupied |= 1 << b;
                     continue;
                 }
 
                 // Continue a compute burst: one instruction per cycle.
+                // Reached only at segment boundaries (window entry, line
+                // crossing, post-fill) — pure in-line retirement parks the
+                // lane in `burst_mask` below.
                 if self.ces[id].compute_left > 0 {
                     if let Some(line) = self.ces[id].ifetch_step() {
                         impure = true;
                         self.ces[id].pending_ifetch = Some(line);
-                        requesters |= bit;
+                        let b = self.caches.bank_of(line);
+                        pending_mask |= bit;
                         req_line[id] = line;
                         req_kind[id] = ReqKind::IFetch;
-                        bank_req[self.caches.bank_of(line)] |= bit;
+                        req_bank[id] = b;
+                        bank_req[b] |= bit;
+                        occupied |= 1 << b;
                     } else {
                         self.ces[id].compute_left -= 1;
                         instrs_acc[id] += 1;
+                        let h = self.ces[id].compute_burst_horizon();
+                        if h > 0 {
+                            burst_mask |= bit;
+                            burst_from[id] = now + 1;
+                            until_arr[id] = now + 1 + h;
+                            next_wake = next_wake.min(until_arr[id]);
+                        }
                     }
                     continue;
                 }
@@ -1187,15 +1256,25 @@ impl Cluster {
                         impure = true;
                         if let Some(line) = self.ces[id].ifetch_step() {
                             self.ces[id].pending_ifetch = Some(line);
-                            requesters |= bit;
+                            let b = self.caches.bank_of(line);
+                            pending_mask |= bit;
                             req_line[id] = line;
                             req_kind[id] = ReqKind::IFetch;
-                            bank_req[self.caches.bank_of(line)] |= bit;
+                            req_bank[id] = b;
+                            bank_req[b] |= bit;
+                            occupied |= 1 << b;
                             continue;
                         }
                         instrs_acc[id] += 1;
                         self.ces[id].compute_left = c.saturating_sub(1);
                         self.ces[id].cur_op = None;
+                        let h = self.ces[id].compute_burst_horizon();
+                        if h > 0 {
+                            burst_mask |= bit;
+                            burst_from[id] = now + 1;
+                            until_arr[id] = now + 1 + h;
+                            next_wake = next_wake.min(until_arr[id]);
+                        }
                     }
                     Op::Load(a) | Op::Store(a) => {
                         let kind = if matches!(op, Op::Store(_)) {
@@ -1203,21 +1282,24 @@ impl Cluster {
                         } else {
                             ReqKind::Read
                         };
-                        if !self.op_fetched[id] {
+                        if self.op_fetched & bit == 0 {
                             impure = true;
-                            self.op_fetched[id] = true;
+                            self.op_fetched |= bit;
                             if let Some(line) = self.ces[id].ifetch_step() {
                                 self.ces[id].pending_ifetch = Some(line);
-                                requesters |= bit;
+                                let b = self.caches.bank_of(line);
+                                pending_mask |= bit;
                                 req_line[id] = line;
                                 req_kind[id] = ReqKind::IFetch;
-                                bank_req[self.caches.bank_of(line)] |= bit;
+                                req_bank[id] = b;
+                                bank_req[b] |= bit;
+                                occupied |= 1 << b;
                                 continue;
                             }
                         }
-                        if !self.vm_checked[id] {
+                        if self.vm_checked & bit == 0 {
                             impure = true;
-                            self.vm_checked[id] = true;
+                            self.vm_checked |= bit;
                             let mode = if a.asid() == KERNEL_ASID {
                                 FaultMode::System
                             } else {
@@ -1240,10 +1322,13 @@ impl Cluster {
                             }
                         }
                         let line = a.line(line_bytes);
-                        requesters |= bit;
+                        let b = self.caches.bank_of(line);
+                        pending_mask |= bit;
                         req_line[id] = line;
                         req_kind[id] = kind;
-                        bank_req[self.caches.bank_of(line)] |= bit;
+                        req_bank[id] = b;
+                        bank_req[b] |= bit;
+                        occupied |= 1 << b;
                     }
                     Op::AwaitSync(t) => {
                         impure = true;
@@ -1255,6 +1340,8 @@ impl Cluster {
                             ready_mask &= !bit;
                             sync_mask |= bit;
                             sync_target_arr[id] = t;
+                            // No wait accrues on the parking cycle.
+                            sync_handled |= bit;
                         }
                     }
                     Op::PostSync(v) => {
@@ -1262,25 +1349,57 @@ impl Cluster {
                         self.ccb.post_sync(v);
                         instrs_acc[id] += 1;
                         self.ces[id].cur_op = None;
+                        // Scalar same-cycle visibility: parked lanes with a
+                        // *higher* id see the new value this cycle (they
+                        // come later in the per-CE order); lower ids were
+                        // already passed and re-check next cycle.
+                        visit |= sync_mask & !((bit << 1) - 1);
+                        sync_dirty = true;
                     }
                 }
             }
 
-            // --- Crossbar arbitration and cache access, mask-native.
-            let mut won = 0u32;
-            if requesters != 0 {
+            // Parked sync waiters not individually visited this cycle all
+            // stayed blocked (the register cannot have moved for them):
+            // accrue their wait in one popcount.
+            sync_wait_acc += (sync_mask & !sync_handled).count_ones() as u64;
+
+            // --- Crossbar arbitration over the persistent bank table and
+            // cache access for the winners, mask-native.
+            let mut won: LaneWord = 0;
+            if pending_mask != 0 {
                 won = self
                     .crossbar
-                    .arbitrate_masks(now, &bank_req[..banks], hit_cycles);
-                let mut m = requesters;
+                    .arbitrate_masks_swar(now, &bank_req, occupied, hit_cycles);
+                // Every requester occupies its CE bus this cycle, granted
+                // or not; the denied set is exactly `pending & !won`. Both
+                // accrue as SWAR masked adds, flushed before any packed
+                // byte lane could saturate.
+                if pk_budget == 0 {
+                    for id in 0..n {
+                        busbusy_acc[id] += crate::swar::packed_lane(busbusy_pk, id);
+                        deny_acc[id] += crate::swar::packed_lane(deny_pk, id);
+                    }
+                    busbusy_pk = 0;
+                    deny_pk = 0;
+                    pk_budget = crate::swar::PACKED_MAX;
+                }
+                pk_budget -= 1;
+                busbusy_pk = crate::swar::packed_add(busbusy_pk, pending_mask, 1);
+                deny_pk = crate::swar::packed_add(deny_pk, pending_mask & !won, 1);
+
+                let mut m = won;
                 while m != 0 {
                     let id = m.trailing_zeros() as usize;
                     m &= m - 1;
-                    let bit = 1u32 << id;
-                    // The request occupies the CE bus whether or not it wins.
-                    busbusy_acc[id] += 1;
-                    if won & bit == 0 {
-                        continue; // retry next cycle
+                    let bit: LaneWord = 1 << id;
+                    // The grant consumes the request: retire it from the
+                    // persistent table.
+                    pending_mask &= !bit;
+                    let b = req_bank[id];
+                    bank_req[b] &= !bit;
+                    if bank_req[b] == 0 {
+                        occupied &= !(1u32 << b);
                     }
                     let line = req_line[id];
                     let kind = req_kind[id];
@@ -1330,7 +1449,7 @@ impl Cluster {
             now += 1;
             done += 1;
 
-            // Quiescent cycle: nothing beyond pure waits, in-line burst
+            // Quiescent cycle: nothing beyond pure waits, in-segment burst
             // retirement, or all-denied retry requests happened (a grant
             // mutates the caches, so `won != 0` keeps the kernel going).
             // Hand back to the run loop so the closed-form fast-forward
@@ -1346,6 +1465,15 @@ impl Cluster {
         // --- Window-exit flush: the per-cycle effects accrued in closed
         // form. The start-ring gc is deferred to the window end (the same
         // legality argument as `advance_bulk`'s).
+        let mut m = burst_mask;
+        while m != 0 {
+            let id = m.trailing_zeros() as usize;
+            m &= m - 1;
+            // Open burst segments: `now` is the first unexecuted cycle, so
+            // `now - from` retirements happened (capped by the horizon
+            // that armed the segment).
+            self.ces[id].advance_compute_burst(now - burst_from[id]);
+        }
         self.membus.gc(now - 1);
         if sync_wait_acc > 0 {
             self.ccb.note_sync_waits(sync_wait_acc);
@@ -1356,7 +1484,11 @@ impl Cluster {
         for id in 0..n {
             let stats = &mut self.ces[id].stats;
             stats.instrs += instrs_acc[id];
-            stats.bus_busy_cycles += busbusy_acc[id];
+            stats.bus_busy_cycles += busbusy_acc[id] + crate::swar::packed_lane(busbusy_pk, id);
+            let denied = deny_acc[id] + crate::swar::packed_lane(deny_pk, id);
+            if denied > 0 {
+                self.crossbar.note_denied_retries(id, denied);
+            }
         }
         let mut m = active_lanes;
         while m != 0 {
@@ -1398,7 +1530,11 @@ impl Cluster {
             let _ = write!(
                 s,
                 "\nce{}={:?} resume={:?} vm_checked={} op_fetched={}",
-                i, ce, self.resume_actions[i], self.vm_checked[i], self.op_fetched[i],
+                i,
+                ce,
+                self.resume_actions[i],
+                self.vm_checked >> i & 1 != 0,
+                self.op_fetched >> i & 1 != 0,
             );
         }
         let _ = write!(
@@ -1440,13 +1576,13 @@ impl Cluster {
                 match grant {
                     IterGrant::Wait => {}
                     IterGrant::Iter(i) => {
-                        let mut buf = std::mem::take(&mut self.iter_buf);
-                        buf.clear();
+                        // A worker only requests at an iteration boundary,
+                        // i.e. with a drained queue: the body generates
+                        // straight into the queue's backing storage.
+                        debug_assert!(self.ces[id].ops.is_empty());
                         if let Load::Loop { body, .. } = &mut self.load {
-                            body.gen_iteration(i, id, &mut buf);
+                            body.gen_iteration(i, id, self.ces[id].ops.append_buf());
                         }
-                        self.ces[id].ops.extend(buf.drain(..));
-                        self.iter_buf = buf;
                         // The grant propagates down the daisy chain before
                         // the CE can begin (middle CEs are farther from
                         // either chain driver).
@@ -1624,8 +1760,8 @@ impl Cluster {
                         ReqKind::Read
                     };
                     // Instruction fetch for this operand instruction.
-                    if !self.op_fetched[id] {
-                        self.op_fetched[id] = true;
+                    if self.op_fetched & (1 << id) == 0 {
+                        self.op_fetched |= 1 << id;
                         if let Some(line) = self.ces[id].ifetch_step() {
                             self.ces[id].pending_ifetch = Some(line);
                             req_bank[id] = Some(self.caches.bank_of(line));
@@ -1634,8 +1770,8 @@ impl Cluster {
                         }
                     }
                     // Paging: first touch of the op.
-                    if !self.vm_checked[id] {
-                        self.vm_checked[id] = true;
+                    if self.vm_checked & (1 << id) == 0 {
+                        self.vm_checked |= 1 << id;
                         let mode = if a.asid() == KERNEL_ASID {
                             FaultMode::System
                         } else {
@@ -2182,6 +2318,22 @@ mod tests {
         let mut c = cluster();
         c.run(1_000);
         assert_eq!(c.skip_counters(), (0, 1_000));
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_builds_never_dense_step() {
+        // Same oracle-independence for the SWAR batch kernel: it retires
+        // whole loop windows without ever calling the per-cycle auditor,
+        // so `dense_eligible` is compile-time false under the feature and
+        // a concurrent loop — the kernel's home turf — must run entirely
+        // through the audited scalar stepper, and audit clean.
+        let mut c = cluster();
+        c.mount_loop(loop_body(1), 0, 10_000, serial_code(1), 1);
+        c.run(20_000);
+        assert_eq!(c.dense_counters().0, 0, "audit build dense-stepped");
+        let report = c.audit_report();
+        assert!(report.is_clean(), "audit violations: {report:?}");
     }
 
     #[test]

@@ -241,16 +241,23 @@ impl CacheSystem {
 
     /// A CE reads or writes `line`. Applies all cache and coherence state
     /// transitions immediately and reports the implied bus transactions.
+    #[inline]
     pub fn ce_access(&mut self, line: LineId, is_write: bool) -> AccessOutcome {
-        self.access(Side::Ce, line, is_write)
+        self.access::<true>(line, is_write)
     }
 
     /// An IP reads or writes `line` through the IP cache.
+    #[inline]
     pub fn ip_access(&mut self, line: LineId, is_write: bool) -> AccessOutcome {
-        self.access(Side::Ip, line, is_write)
+        self.access::<false>(line, is_write)
     }
 
-    fn access(&mut self, side: Side, line: LineId, is_write: bool) -> AccessOutcome {
+    /// Shared access logic, monomorphized per side: `CE` is a compile-time
+    /// constant so the per-side dispatch below folds away in the build,
+    /// keeping the CE hit path (several times per simulated cycle)
+    /// branch-free of side selection.
+    fn access<const CE: bool>(&mut self, line: LineId, is_write: bool) -> AccessOutcome {
+        let side = if CE { Side::Ce } else { Side::Ip };
         match side {
             Side::Ce => self.stats.ce_accesses += 1,
             Side::Ip => self.stats.ip_accesses += 1,

@@ -31,8 +31,11 @@ impl ICache {
         }
     }
 
+    #[inline]
     fn set_of(&self, line: LineId) -> usize {
-        (line.0 % self.n_sets) as usize
+        // `n_sets` is a power of two (asserted at construction), so the
+        // set index is a mask, not a runtime modulo.
+        (line.0 & (self.n_sets - 1)) as usize
     }
 
     /// Line size in bytes.

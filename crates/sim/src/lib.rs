@@ -70,6 +70,7 @@ pub mod membus;
 pub mod opcode;
 pub mod probe;
 pub mod stream;
+pub mod swar;
 pub mod trace;
 pub mod vm;
 
@@ -79,6 +80,16 @@ pub use probe::ProbeWord;
 
 /// Simulated time in bus cycles.
 pub type Cycle = u64;
+
+/// The lane-mask word: one bit per CE lane in the dense SoA kernel, the
+/// crossbar's per-bank requester masks, and the monitor's batch probe
+/// reduction. Sized for the widest cluster the word-parallel (SWAR) paths
+/// can carry — widening to 16/32/64-CE clusters (ROADMAP item 1) is a
+/// matter of keeping this at `u64` and lifting the `MAX_CES` assertion,
+/// not of rewriting any kernel. The SWAR byte-packed accumulators in
+/// [`swar`] currently batch 8 lanes per word; wider machines split lanes
+/// across accumulator words.
+pub type LaneWord = u64;
 
 /// Index of a Computing Element within the cluster (0..=7 on a full FX/8).
 pub type CeId = usize;

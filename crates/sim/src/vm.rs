@@ -40,7 +40,10 @@ impl Hasher for PageHasher {
     }
 }
 
-type PageMap = HashMap<PageId, u64, BuildHasherDefault<PageHasher>>;
+type PageMap = HashMap<PageId, u32, BuildHasherDefault<PageHasher>>;
+
+/// An invalid slot index used to mark a free-list entry / empty memo.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Per-CE fault counters, split by mode as Concentrix logged them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,16 +71,35 @@ pub enum FaultMode {
 }
 
 /// The machine-wide paging state.
+///
+/// Residency is a map from page to a *slot* in a stable slab of
+/// `(page, stamp)` pairs. The indirection exists for one reason: the
+/// per-CE touch memo. A CE's operand stream walks its panel with small
+/// strides, so consecutive touches from the same CE overwhelmingly hit
+/// the page they hit last time; the memo caches `(page, slot)` per CE and
+/// the hot path updates the slot's stamp directly — no hash, no probe.
+/// Any eviction bumps `epoch`, invalidating every memo at once (evictions
+/// are rare once a working set is resident, and correctness never depends
+/// on the memo: it is a pure cache over the map).
 #[derive(Debug)]
 pub struct Vm {
     frames: usize,
-    /// Resident pages with their last-touch stamps.
+    /// Resident pages, each mapping to its slot in `slots`.
     resident: PageMap,
+    /// Stable `(page, last-touch stamp)` storage; slot indices stay valid
+    /// until the page is evicted (freed slots are recycled via `free`).
+    slots: Vec<(PageId, u64)>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
     /// Lazy min-heap of (Reverse(stamp), page) candidates for eviction.
-    /// Re-touches update only the map; eviction re-heaps entries whose
+    /// Re-touches update only the slab; eviction re-heaps entries whose
     /// stamp has moved on, so the hot resident-touch path never pushes.
     lru: BinaryHeap<(std::cmp::Reverse<u64>, PageId)>,
     stamp: u64,
+    /// Bumped on every eviction; memos from an older epoch are dead.
+    epoch: u64,
+    /// Per-CE `(page, slot, epoch)` last-touch memo.
+    memo: Vec<(PageId, u32, u64)>,
     faults: Vec<FaultCounts>,
     evictions: u64,
 }
@@ -89,8 +111,12 @@ impl Vm {
         Vm {
             frames: frames as usize,
             resident: PageMap::with_capacity_and_hasher(frames as usize, Default::default()),
+            slots: Vec::new(),
+            free: Vec::new(),
             lru: BinaryHeap::new(),
             stamp: 0,
+            epoch: 1,
+            memo: vec![(PageId(0), NO_SLOT, 0); n_ces],
             faults: vec![FaultCounts::default(); n_ces],
             evictions: 0,
         }
@@ -134,31 +160,65 @@ impl Vm {
     /// Touch `page` on behalf of CE `ce`. Returns `true` if it was
     /// resident; otherwise counts a fault, makes it resident (evicting the
     /// LRU page if memory is full) and returns `false`.
+    #[inline]
     pub fn touch(&mut self, ce: CeId, page: PageId, mode: FaultMode) -> bool {
         let stamp = self.next_stamp();
-        if let Some(s) = self.resident.get_mut(&page) {
-            // Lazy LRU: record the new stamp in the map only. The heap
+        // Same CE, same page as last time, no eviction since: refresh the
+        // stamp straight in the slab.
+        let m = self.memo[ce];
+        if m.2 == self.epoch && m.0 == page {
+            self.slots[m.1 as usize].1 = stamp;
+            return true;
+        }
+        self.touch_slow(ce, page, mode, stamp)
+    }
+
+    /// Memo-miss path of [`Vm::touch`]: full residency lookup.
+    fn touch_slow(&mut self, ce: CeId, page: PageId, mode: FaultMode, stamp: u64) -> bool {
+        if let Some(&slot) = self.resident.get(&page) {
+            // Lazy LRU: record the new stamp in the slab only. The heap
             // entry goes stale; eviction re-heaps it at the live stamp
             // when (and only when) it surfaces, so the choice of victim —
             // the minimum live stamp — is unchanged.
-            *s = stamp;
+            self.slots[slot as usize].1 = stamp;
+            self.memo[ce] = (page, slot, self.epoch);
             return true;
         }
         match mode {
             FaultMode::User => self.faults[ce].user += 1,
             FaultMode::System => self.faults[ce].system += 1,
         }
-        self.make_resident(page, stamp);
+        let slot = self.make_resident(page, stamp);
+        self.memo[ce] = (page, slot, self.epoch);
         false
     }
 
-    fn make_resident(&mut self, page: PageId, stamp: u64) {
+    /// Live stamp of a resident page (for eviction bookkeeping).
+    #[inline]
+    fn live_stamp(&self, page: PageId) -> Option<u64> {
+        self.resident
+            .get(&page)
+            .map(|&slot| self.slots[slot as usize].1)
+    }
+
+    fn make_resident(&mut self, page: PageId, stamp: u64) -> u32 {
         while self.resident.len() >= self.frames {
             self.evict_lru();
         }
-        self.resident.insert(page, stamp);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = (page, stamp);
+                s
+            }
+            None => {
+                self.slots.push((page, stamp));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.resident.insert(page, slot);
         self.lru.push((std::cmp::Reverse(stamp), page));
         self.maybe_compact();
+        slot
     }
 
     /// Safety net: with lazy re-heaping the heap tracks the resident set
@@ -168,11 +228,22 @@ impl Vm {
     fn maybe_compact(&mut self) {
         if self.lru.len() > 4 * self.frames + 64 {
             self.lru.clear();
+            let slots = &self.slots;
             self.lru.extend(
                 self.resident
-                    .iter()
-                    .map(|(&p, &s)| (std::cmp::Reverse(s), p)),
+                    .values()
+                    .map(|&s| (std::cmp::Reverse(slots[s as usize].1), slots[s as usize].0)),
             );
+        }
+    }
+
+    /// Drop `page` from the resident set, recycling its slot and killing
+    /// every memo (the epoch moves).
+    fn remove_resident(&mut self, page: PageId) {
+        if let Some(slot) = self.resident.remove(&page) {
+            self.free.push(slot);
+            self.epoch += 1;
+            self.evictions += 1;
         }
     }
 
@@ -183,21 +254,23 @@ impl Vm {
         // below its live stamp, so the first exact match is the page with
         // the minimum live stamp — identical to eager per-touch pushes.
         while let Some((std::cmp::Reverse(stamp), page)) = self.lru.pop() {
-            match self.resident.get(&page) {
-                Some(&live) if live == stamp => {
-                    self.resident.remove(&page);
-                    self.evictions += 1;
+            match self.live_stamp(page) {
+                Some(live) if live == stamp => {
+                    self.remove_resident(page);
                     return;
                 }
-                Some(&live) => self.lru.push((std::cmp::Reverse(live), page)),
+                Some(live) => self.lru.push((std::cmp::Reverse(live), page)),
                 None => {}
             }
         }
         // Heap exhausted but map non-empty (stale entries dropped): rebuild.
-        if let Some((&page, &stamp)) = self.resident.iter().min_by_key(|&(_, &s)| s) {
-            let _ = stamp;
-            self.resident.remove(&page);
-            self.evictions += 1;
+        if let Some(page) = self
+            .resident
+            .values()
+            .min_by_key(|&&s| self.slots[s as usize].1)
+            .map(|&s| self.slots[s as usize].0)
+        {
+            self.remove_resident(page);
         }
     }
 
