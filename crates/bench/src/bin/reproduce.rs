@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! reproduce run     [--quick] [--audit] [--out DIR] [IDS...]
+//! reproduce scale   [--quick] [--widths LIST] [--json FILE]
 //! reproduce bench   [--as-baseline | --check-regression]
-//! reproduce audit   [--quick]
+//! reproduce audit   [--quick] [--width N]
 //! reproduce metrics [--quick] [--json FILE]
 //! reproduce trace   [--quick] [--out FILE] [--event-capacity N]
 //! ```
@@ -30,8 +31,15 @@
 //!   settled under the CoV threshold — a noisy runner must not fail the
 //!   canary spuriously. CI's `bench-smoke` job runs this to catch
 //!   throughput regressions.
+//! * `scale` — the scaling study the paper couldn't run: one complete
+//!   study per cluster width (default widths 2 4 8 16 32 64, override with
+//!   `--widths 2,8,64`), printed as C_w/P_c/missrate/bus-utilization
+//!   curves; `--json FILE` writes the full
+//!   [`fx8_core::scale::ScaleStudy`]; `--quick` sweeps the scaled-down
+//!   study per width.
 //! * `audit` — run the study with the auditor's report only (no tables);
-//!   meaningful when built with `--features audit`.
+//!   meaningful when built with `--features audit`. `--width N` audits a
+//!   scaled hypothetical cluster instead of the measured 8-CE machine.
 //! * `metrics` — run the study with the `fx8-trace` metrics registry armed
 //!   and print per-session/per-engine counters; `--json FILE` writes the
 //!   full [`fx8_core::observability::MetricsReport`].
@@ -48,19 +56,21 @@
 use fx8_bench::throughput;
 use fx8_core::observability::StudyObservability;
 use fx8_core::report::StudyReport;
+use fx8_core::scale::{ScaleConfig, ScaleStudy};
 use fx8_core::study::{Study, StudyConfig, StudyConfigBuilder};
 use fx8_core::{figures, report, tables};
-use fx8_sim::{ConfigError, TraceConfig};
+use fx8_sim::{ConfigError, MachineConfig, TraceConfig};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: reproduce <run|bench|audit|metrics|trace> [options]\n\
+    "usage: reproduce <run|scale|bench|audit|metrics|trace> [options]\n\
      \n\
      reproduce run     [--quick] [--audit] [--out DIR] [IDS...]\n\
+     reproduce scale   [--quick] [--widths LIST] [--json FILE]\n\
      reproduce bench   [--as-baseline | --check-regression] \
      [--cov-threshold F] [--max-windows N]\n\
-     reproduce audit   [--quick]\n\
+     reproduce audit   [--quick] [--width N]\n\
      reproduce metrics [--quick] [--json FILE]\n\
      reproduce trace   [--quick] [--out FILE] [--event-capacity N]\n\
      \n\
@@ -82,8 +92,14 @@ enum Cmd {
         check_regression: bool,
         opts: throughput::BenchOptions,
     },
+    Scale {
+        quick: bool,
+        widths: Option<Vec<usize>>,
+        json: Option<String>,
+    },
     Audit {
         quick: bool,
+        width: Option<usize>,
     },
     Metrics {
         quick: bool,
@@ -155,16 +171,51 @@ fn parse_bench(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     })
 }
 
-fn parse_quick_only(argv: impl Iterator<Item = String>, cmd: &str) -> Result<bool, String> {
+fn parse_scale(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut quick = false;
-    for a in argv {
+    let mut widths = None;
+    let mut json = None;
+    while let Some(a) = argv.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--widths" => {
+                let v = argv
+                    .next()
+                    .ok_or("--widths requires a comma-separated list")?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|w| w.trim().parse::<usize>()).collect();
+                widths = Some(parsed.map_err(|_| format!("--widths: not a width list: {v}"))?);
+            }
+            "--json" => json = Some(argv.next().ok_or("--json requires a file path")?),
             "--help" | "-h" => return Err(usage().to_string()),
-            other => return Err(format!("unknown flag {other} for {cmd}\n{}", usage())),
+            other => return Err(format!("unknown flag {other} for scale\n{}", usage())),
         }
     }
-    Ok(quick)
+    Ok(Cmd::Scale {
+        quick,
+        widths,
+        json,
+    })
+}
+
+fn parse_audit(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
+    let mut quick = false;
+    let mut width = None;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--width" => {
+                let v = argv.next().ok_or("--width requires a number")?;
+                width = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--width: not a number: {v}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other} for audit\n{}", usage())),
+        }
+    }
+    Ok(Cmd::Audit { quick, width })
 }
 
 fn parse_metrics(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
@@ -303,10 +354,9 @@ fn parse_cmd() -> Result<Cmd, String> {
         })),
         Some(first) => match first.as_str() {
             "run" => parse_run(argv),
+            "scale" => parse_scale(argv),
             "bench" => parse_bench(argv),
-            "audit" => Ok(Cmd::Audit {
-                quick: parse_quick_only(argv, "audit")?,
-            }),
+            "audit" => parse_audit(argv),
             "metrics" => parse_metrics(argv),
             "trace" => parse_trace(argv),
             "--help" | "-h" => Err(usage().to_string()),
@@ -331,13 +381,10 @@ const REGRESSION_TOLERANCE: f64 = 0.08;
 /// gated — their windows disagree too much for an 8% comparison to mean
 /// anything.
 fn run_check_regression(path: &str, opts: &throughput::BenchOptions) -> ExitCode {
-    let committed = match std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str::<throughput::BenchFile>(&s).ok())
-    {
-        Some(f) => f.current,
-        None => {
-            eprintln!("cannot load committed {path}; nothing to check against");
+    let committed = match throughput::load(path) {
+        Ok(f) => f.current,
+        Err(e) => {
+            eprintln!("reproduce: {e}; nothing to check against");
             return ExitCode::FAILURE;
         }
     };
@@ -566,17 +613,55 @@ fn cmd_run(args: RunArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_audit(quick: bool) -> ExitCode {
-    let cfg = match study_cfg(quick, TraceConfig::off()) {
+fn cmd_audit(quick: bool, width: Option<usize>) -> ExitCode {
+    let cfg = match study_cfg(quick, TraceConfig::off()).and_then(|c| match width {
+        Some(w) => StudyConfigBuilder::from_config(c)
+            .machine(MachineConfig::scaled(w))
+            .build(),
+        None => Ok(c),
+    }) {
         Ok(c) => c,
         Err(e) => return config_error(e),
     };
+    if let Some(w) = width {
+        eprintln!("auditing a scaled {w}-CE cluster");
+    }
     let (study, _) = run_study_observed(cfg, quick);
     if print_audit(&study) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_scale(quick: bool, widths: Option<Vec<usize>>, json: Option<String>) -> ExitCode {
+    let mut cfg = if quick {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::paper()
+    };
+    if let Some(w) = widths {
+        cfg.widths = w;
+    }
+    eprintln!(
+        "running scaling study across widths {:?} ({} mode)...",
+        cfg.widths,
+        if quick { "quick" } else { "paper" }
+    );
+    let study = match ScaleStudy::run(&cfg) {
+        Ok(s) => s,
+        Err(e) => return config_error(e),
+    };
+    print!("{}", study.render());
+    if let Some(path) = json {
+        let payload = serde_json::to_string(&study).expect("scale study serializes");
+        if let Err(e) = std::fs::write(&path, payload + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_metrics(quick: bool, json: Option<String>) -> ExitCode {
@@ -652,7 +737,12 @@ fn main() -> ExitCode {
                 run_bench_json(as_baseline, &opts)
             }
         }
-        Cmd::Audit { quick } => cmd_audit(quick),
+        Cmd::Scale {
+            quick,
+            widths,
+            json,
+        } => cmd_scale(quick, widths, json),
+        Cmd::Audit { quick, width } => cmd_audit(quick, width),
         Cmd::Metrics { quick, json } => cmd_metrics(quick, json),
         Cmd::Trace {
             quick,

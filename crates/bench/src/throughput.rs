@@ -132,6 +132,64 @@ impl serde::Deserialize for BenchFile {
     }
 }
 
+/// Why a committed `BENCH_throughput.json` could not be loaded: the file
+/// is absent/unreadable, or it read fine but does not parse as a bench
+/// file (malformed JSON, or a kernel entry missing — the deserializer
+/// names the absent field). The regression gate reports these as ordinary
+/// diagnostics instead of panicking.
+#[derive(Debug)]
+pub enum BenchLoadError {
+    /// The file could not be read at all.
+    Io {
+        /// Path the gate tried to read.
+        path: String,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The file read but is not a valid bench file.
+    Parse {
+        /// Path the gate read.
+        path: String,
+        /// What the parser rejected (e.g. `missing field loop_cycles_per_sec`).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BenchLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchLoadError::Io { path, source } => {
+                write!(f, "cannot read {path}: {source}")
+            }
+            BenchLoadError::Parse { path, detail } => {
+                write!(f, "{path} is not a valid bench file: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchLoadError::Io { source, .. } => Some(source),
+            BenchLoadError::Parse { .. } => None,
+        }
+    }
+}
+
+/// Load a committed bench file, distinguishing a missing/unreadable file
+/// from one that is present but malformed or lacks a kernel entry.
+pub fn load(path: &str) -> Result<BenchFile, BenchLoadError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchLoadError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    serde_json::from_str::<BenchFile>(&text).map_err(|e| BenchLoadError::Parse {
+        path: path.to_string(),
+        detail: e.to_string(),
+    })
+}
+
 /// A cluster with only IP background traffic.
 pub fn idle_cluster(seed: u64) -> Cluster {
     let mut c = Cluster::new(MachineConfig::fx8(), seed);
@@ -665,6 +723,42 @@ mod tests {
         let json = serde_json::to_string(&n).unwrap();
         let back: ThroughputNumbers = serde_json::from_str(&json).unwrap();
         assert_eq!(back, n);
+    }
+
+    /// The regression gate must surface "file missing" and "file present
+    /// but lacking a kernel entry" as typed, printable errors — not a
+    /// panic and not one indistinguishable `None`.
+    #[test]
+    fn load_distinguishes_missing_file_from_missing_kernel_entry() {
+        let dir = std::env::temp_dir().join("fx8_bench_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("nonexistent.json");
+        let e = load(missing.to_str().unwrap()).unwrap_err();
+        assert!(matches!(e, BenchLoadError::Io { .. }), "got {e}");
+        assert!(e.to_string().contains("cannot read"));
+
+        // Valid JSON whose `current` entry lacks the loop kernel rate.
+        let partial = dir.join("partial.json");
+        std::fs::write(
+            &partial,
+            r#"{"baseline": {"idle_cycles_per_sec": 1.0}, "loop_speedup": 1.0}"#,
+        )
+        .unwrap();
+        let e = load(partial.to_str().unwrap()).unwrap_err();
+        match &e {
+            BenchLoadError::Parse { detail, .. } => {
+                assert!(detail.contains("missing field"), "detail: {detail}");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        assert!(matches!(
+            load(garbage.to_str().unwrap()).unwrap_err(),
+            BenchLoadError::Parse { .. }
+        ));
     }
 
     #[test]

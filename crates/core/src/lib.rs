@@ -11,6 +11,8 @@
 //! * [`experiment`] — session runners for the three session types;
 //! * [`study`] — the complete study (9 random + 10 triggered + 5
 //!   transition sessions), run in parallel across sessions;
+//! * [`scale`] — the width sweep the paper couldn't run: one study per
+//!   cluster width, reduced to C_w/P_c/missrate/bus-utilization curves;
 //! * [`tables`] — Tables 1–4 and A.1;
 //! * [`figures`] — Figures 3–14, A.1–A.5 and B.1–B.10;
 //! * [`report`] — the full text report and the paper-vs-measured
@@ -24,10 +26,12 @@ pub mod figures;
 pub mod observability;
 pub mod report;
 pub mod sample;
+pub mod scale;
 pub mod study;
 pub mod tables;
 
 pub use sample::Sample;
+pub use scale::{ScaleConfig, ScalePoint, ScaleStudy};
 pub use study::{SessionAudit, Study, StudyAuditReport, StudyConfig};
 
 /// The types most programs need, importable in one line:
@@ -39,6 +43,7 @@ pub mod prelude {
     };
     pub use crate::report::{CompRow, StudyReport};
     pub use crate::sample::Sample;
+    pub use crate::scale::{ScaleConfig, ScalePoint, ScaleStudy};
     pub use crate::study::{Study, StudyAuditReport, StudyConfig, StudyConfigBuilder};
     pub use fx8_monitor::EventCounts;
     pub use fx8_sim::{ConfigError, MachineConfig, MachineConfigBuilder, TraceConfig};

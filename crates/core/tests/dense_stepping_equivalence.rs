@@ -150,6 +150,42 @@ fn dense_stepping_identical_across_arbitration_disciplines() {
     }
 }
 
+/// The width-generic tentpole: the dense SoA, fast-forward, and scalar
+/// engines must stay bit-identical at every scaling-study width, not just
+/// on the measured 8-CE machine. Each width runs the scaled preset with a
+/// little bank contention so the packed-counter group chunking (one SWAR
+/// word per 8 lanes) carries real weight above width 8.
+#[test]
+fn cluster_trajectory_bit_identical_at_sampled_widths() {
+    for width in [2usize, 8, 16, 32, 64] {
+        let drive = |dense: bool, ff: bool| {
+            let mut cfg = MachineConfig::scaled(width);
+            cfg.dense_stepping = dense;
+            cfg.fast_forward = ff;
+            cfg.cache_hit_cycles = 3;
+            let mut c = Cluster::new(cfg, 42 + width as u64);
+            c.set_ip_intensity(0.12);
+            c.mount_loop(loop_body(1), 0, 20_000, serial_code(1), 1);
+            let mut words = Vec::new();
+            for _ in 0..3 {
+                c.run(12_000);
+                words.extend(c.capture(100));
+            }
+            (c.state_digest(), words)
+        };
+        let all_on = drive(true, true);
+        let scalar = drive(false, false);
+        assert_eq!(
+            all_on, scalar,
+            "width {width}: dense+fast-forward diverged from scalar"
+        );
+        let ff_only = drive(false, true);
+        assert_eq!(ff_only, scalar, "width {width}: fast-forward diverged");
+        let dense_only = drive(true, false);
+        assert_eq!(dense_only, scalar, "width {width}: dense diverged");
+    }
+}
+
 fn quick_cfg(seed: u64, dense: bool) -> SessionConfig {
     SessionConfig {
         machine: machine(dense),
@@ -190,6 +226,25 @@ fn audited_session_with_dense_stepping_on_is_clean() {
     assert!(
         r.audit.is_clean(),
         "audited session reported violations: {:?}",
+        r.audit
+    );
+}
+
+/// The invariant auditor at a width the real machine never had: a full
+/// quick session on a scaled 32-CE cluster must audit clean, so the
+/// width-generic model satisfies the same probe/CCB/crossbar invariants
+/// the 8-CE machine does.
+#[cfg(feature = "audit")]
+#[test]
+fn audited_session_at_width_32_is_clean() {
+    let cfg = SessionConfig {
+        machine: MachineConfig::scaled(32),
+        ..SessionConfig::quick(15)
+    };
+    let r = run_random_session(&cfg, 0);
+    assert!(
+        r.audit.is_clean(),
+        "audited 32-CE session reported violations: {:?}",
         r.audit
     );
 }

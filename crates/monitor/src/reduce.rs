@@ -71,17 +71,11 @@ impl EventCounts {
     /// regimes do less work than the lane-by-lane scan.
     pub fn accumulate_slice(&mut self, records: &[ProbeWord]) {
         let n = self.n_ces;
-        // Mask algebra runs in [`LaneWord`] width, not the probe word's
-        // current `u8`: the reduction is ready for the wider probe words a
-        // 16/32/64-CE cluster would emit (ROADMAP item 1) — only the
-        // widening casts below are tied to today's 8-lane capture format.
-        // Lanes beyond the cluster width never contribute — exactly the
+        // Mask algebra runs in full [`LaneWord`] width, so records from
+        // 2-lane and 64-lane clusters reduce through the same loops. Lanes
+        // beyond the cluster width never contribute — exactly the
         // `0..n_ces` bound of the word-at-a-time loop.
-        let width_mask: LaneWord = if n >= LaneWord::BITS as usize {
-            LaneWord::MAX
-        } else {
-            (1 << n) - 1
-        };
+        let width_mask = fx8_sim::swar::lane_mask(n);
         let idle = CeBusOp::Idle.index();
         for w in records {
             let active = w.active_count() as usize;
@@ -255,10 +249,10 @@ impl EventCounts {
 mod tests {
     use super::*;
 
-    fn word(mask: u8, ce_op: CeBusOp, mem_op: MemBusOp) -> ProbeWord {
+    fn word(mask: LaneWord, ce_op: CeBusOp, mem_op: MemBusOp) -> ProbeWord {
         let mut w = ProbeWord::idle(0);
         w.active_mask = mask;
-        for j in 0..8 {
+        for j in 0..fx8_sim::probe::MAX_CES {
             if mask & (1 << j) != 0 {
                 w.ce_ops[j] = ce_op;
             }
@@ -291,6 +285,24 @@ mod tests {
         assert_eq!(c.prof[0], 2);
         assert_eq!(c.prof[7], 1);
         assert_eq!(c.prof[3], 0);
+    }
+
+    /// Regression: lanes above bit 8 used to be truncated by the `u8`
+    /// probe mask before the monitor ever saw them.
+    #[test]
+    fn wide_cluster_lanes_reach_the_reduction() {
+        let records = vec![word(
+            (1 << 9) | (1 << 40) | (1 << 63),
+            CeBusOp::Read,
+            MemBusOp::Idle,
+        )];
+        let c = EventCounts::reduce(&records, 64);
+        assert_eq!(c.num[3], 1);
+        assert_eq!(c.prof[9], 1);
+        assert_eq!(c.prof[40], 1);
+        assert_eq!(c.prof[63], 1);
+        assert_eq!(c.prof[8], 0);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -371,13 +383,11 @@ mod tests {
         use proptest::prelude::*;
 
         /// A well-formed record for an `n_ces`-wide cluster from raw draws:
-        /// activity lines and busy opcodes only on in-width lanes.
-        fn make_word(n_ces: usize, mask: u8, ops: [usize; 8], mem: usize) -> ProbeWord {
-            let width_mask = if n_ces >= 8 {
-                u8::MAX
-            } else {
-                (1u8 << n_ces) - 1
-            };
+        /// activity lines and busy opcodes only on in-width lanes. The mask
+        /// draw is a full `LaneWord`, so wide clusters really get records
+        /// with lanes above bit 8 set.
+        fn make_word(n_ces: usize, mask: LaneWord, ops: &[usize], mem: usize) -> ProbeWord {
+            let width_mask = fx8_sim::swar::lane_mask(n_ces);
             let mut w = ProbeWord::idle(0);
             w.active_mask = mask & width_mask;
             for (j, &op) in ops.iter().enumerate().take(n_ces.min(MAX_CES)) {
@@ -389,18 +399,23 @@ mod tests {
 
         proptest! {
             /// The mask-driven batch reducer and the lane-by-lane scalar
-            /// reducer must produce identical counts on any record slice.
+            /// reducer must produce identical counts on any record slice,
+            /// at any cluster width up to the full lane word.
             #[test]
             fn slice_reduction_matches_word_at_a_time(
                 n_ces in 1usize..=MAX_CES,
                 raw in prop::collection::vec(
-                    (any::<u8>(), prop::array::uniform8(0..CeBusOp::COUNT), 0..MemBusOp::COUNT),
+                    (
+                        any::<LaneWord>(),
+                        prop::collection::vec(0..CeBusOp::COUNT, MAX_CES..MAX_CES + 1),
+                        0..MemBusOp::COUNT,
+                    ),
                     0..200,
                 ),
             ) {
                 let words: Vec<ProbeWord> = raw
                     .iter()
-                    .map(|&(mask, ops, mem)| make_word(n_ces, mask, ops, mem))
+                    .map(|(mask, ops, mem)| make_word(n_ces, *mask, ops, *mem))
                     .collect();
                 let mut scalar = EventCounts::empty(n_ces);
                 for w in &words {

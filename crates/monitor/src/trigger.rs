@@ -88,7 +88,7 @@ impl TriggerState {
 mod tests {
     use super::*;
 
-    fn word(mask: u8) -> ProbeWord {
+    fn word(mask: fx8_sim::LaneWord) -> ProbeWord {
         let mut w = ProbeWord::idle(0);
         w.active_mask = mask;
         w
@@ -130,29 +130,28 @@ mod tests {
             Trigger::AllCesActive,
             Trigger::TransitionFromFull,
         ] {
-            for prev_full in [false, true] {
-                for active in 0..=8u32 {
-                    let mut t = TriggerState::new(trigger, 8);
-                    t.prev_full = prev_full;
-                    if !t.dormant(active) {
-                        continue;
+            for n_ces in [8usize, 32, 64] {
+                for prev_full in [false, true] {
+                    for active in 0..=n_ces as u32 {
+                        let mut t = TriggerState::new(trigger, n_ces);
+                        t.prev_full = prev_full;
+                        if !t.dormant(active) {
+                            continue;
+                        }
+                        let mask = fx8_sim::swar::lane_mask(active as usize);
+                        let mut replay = t.clone();
+                        for i in 0..4 {
+                            assert!(
+                                !replay.fire(&word(mask)),
+                                "{trigger:?} n_ces={n_ces} prev_full={prev_full} \
+                                 active={active} fired at record {i}"
+                            );
+                        }
+                        // note_skipped lands on the same edge state the
+                        // per-record replay reaches.
+                        t.note_skipped(active);
+                        assert_eq!(t.prev_full, replay.prev_full);
                     }
-                    let mask = if active == 0 {
-                        0
-                    } else {
-                        0xffu8 >> (8 - active)
-                    };
-                    let mut replay = t.clone();
-                    for i in 0..4 {
-                        assert!(
-                            !replay.fire(&word(mask)),
-                            "{trigger:?} prev_full={prev_full} active={active} fired at record {i}"
-                        );
-                    }
-                    // note_skipped lands on the same edge state the
-                    // per-record replay reaches.
-                    t.note_skipped(active);
-                    assert_eq!(t.prev_full, replay.prev_full);
                 }
             }
         }

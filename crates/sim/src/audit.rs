@@ -210,7 +210,7 @@ mod active {
             }
 
             // CCB activity lines agree with the CE roles.
-            let mut expect_mask = 0u8;
+            let mut expect_mask: crate::LaneWord = 0;
             for (id, ce) in cl.ces.iter().enumerate() {
                 if ce.is_ccb_active() {
                     expect_mask |= 1 << id;
@@ -220,8 +220,8 @@ mod active {
                 self.push(
                     now,
                     "probe.active_mask",
-                    format!("{expect_mask:#010b} (from CE roles)"),
-                    format!("{:#010b}", word.active_mask),
+                    format!("{expect_mask:#b} (from CE roles)"),
+                    format!("{:#b}", word.active_mask),
                 );
             }
 

@@ -1070,8 +1070,11 @@ impl Cluster {
         let mut instrs_acc = [0u64; MAX_CES];
         let mut busbusy_acc = [0u64; MAX_CES];
         let mut deny_acc = [0u64; MAX_CES];
-        let mut busbusy_pk = 0u64;
-        let mut deny_pk = 0u64;
+        // One packed word per 8-lane group: the measured 8-CE machine pays
+        // for exactly one word; a 64-CE cluster carries eight.
+        let pk_groups = crate::swar::lane_groups(n);
+        let mut busbusy_pk = [0u64; crate::swar::lane_groups(MAX_CES)];
+        let mut deny_pk = [0u64; crate::swar::lane_groups(MAX_CES)];
         let mut pk_budget = crate::swar::PACKED_MAX;
         let mut sync_wait_acc = 0u64;
         let mut grant_wait_acc = 0u64;
@@ -1377,16 +1380,31 @@ impl Cluster {
                 // byte lane could saturate.
                 if pk_budget == 0 {
                     for id in 0..n {
-                        busbusy_acc[id] += crate::swar::packed_lane(busbusy_pk, id);
-                        deny_acc[id] += crate::swar::packed_lane(deny_pk, id);
+                        let (g, l) = (
+                            id / crate::swar::PACKED_LANES,
+                            id % crate::swar::PACKED_LANES,
+                        );
+                        busbusy_acc[id] += crate::swar::packed_lane(busbusy_pk[g], l);
+                        deny_acc[id] += crate::swar::packed_lane(deny_pk[g], l);
                     }
-                    busbusy_pk = 0;
-                    deny_pk = 0;
+                    busbusy_pk = [0; crate::swar::lane_groups(MAX_CES)];
+                    deny_pk = [0; crate::swar::lane_groups(MAX_CES)];
                     pk_budget = crate::swar::PACKED_MAX;
                 }
                 pk_budget -= 1;
-                busbusy_pk = crate::swar::packed_add(busbusy_pk, pending_mask, 1);
-                deny_pk = crate::swar::packed_add(deny_pk, pending_mask & !won, 1);
+                let denied_mask = pending_mask & !won;
+                for g in 0..pk_groups {
+                    busbusy_pk[g] = crate::swar::packed_add(
+                        busbusy_pk[g],
+                        crate::swar::group_mask(pending_mask, g),
+                        1,
+                    );
+                    deny_pk[g] = crate::swar::packed_add(
+                        deny_pk[g],
+                        crate::swar::group_mask(denied_mask, g),
+                        1,
+                    );
+                }
 
                 let mut m = won;
                 while m != 0 {
@@ -1484,8 +1502,12 @@ impl Cluster {
         for id in 0..n {
             let stats = &mut self.ces[id].stats;
             stats.instrs += instrs_acc[id];
-            stats.bus_busy_cycles += busbusy_acc[id] + crate::swar::packed_lane(busbusy_pk, id);
-            let denied = deny_acc[id] + crate::swar::packed_lane(deny_pk, id);
+            let (g, l) = (
+                id / crate::swar::PACKED_LANES,
+                id % crate::swar::PACKED_LANES,
+            );
+            stats.bus_busy_cycles += busbusy_acc[id] + crate::swar::packed_lane(busbusy_pk[g], l);
+            let denied = deny_acc[id] + crate::swar::packed_lane(deny_pk[g], l);
             if denied > 0 {
                 self.crossbar.note_denied_retries(id, denied);
             }

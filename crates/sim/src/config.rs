@@ -402,9 +402,43 @@ impl MachineConfig {
     }
 
     /// Extra grant-propagation cycles for CE `ce` (distance from the
-    /// nearer end of the daisy chain).
+    /// nearer end of the daisy chain). Lanes at or beyond the cluster
+    /// width have no chain position; they are clamped to distance zero
+    /// instead of underflowing `n_ces - 1 - ce` (which used to wrap to a
+    /// ~2^64-cycle stall in release builds).
     pub fn ccb_chain_delay(&self, ce: usize) -> u64 {
-        self.ccb_chain_hop_cycles * ce.min(self.n_ces - 1 - ce) as u64
+        debug_assert!(ce < self.n_ces, "CE {ce} outside a {}-CE chain", self.n_ces);
+        let from_high_end = self.n_ces.saturating_sub(1).saturating_sub(ce);
+        self.ccb_chain_hop_cycles * ce.min(from_high_end) as u64
+    }
+
+    /// A hypothetical FX/8-derived cluster of `n_ces` CEs — the machine
+    /// the paper could not measure. Shared resources scale with width in
+    /// the FX/8's own proportions (16 KB of shared cache per CE, one cache
+    /// bank per two CEs, one memory bus per four CEs), so the scaling
+    /// curves isolate the concurrency effects of width rather than of
+    /// starving the cache. Bank count and memory interleave saturate at 16
+    /// (the widest crossbar the dense kernel's conflict masks carry), which
+    /// is itself a measured effect: past 32 CEs the interleave stops
+    /// scaling and bank contention climbs. Latencies, CCB behaviour and IP
+    /// background load stay at the measured machine's values. `n_ces` is
+    /// rounded up to a power of two for the geometry computations, so every
+    /// width in `1..=64` validates.
+    pub fn scaled(n_ces: usize) -> Self {
+        let p = n_ces.next_power_of_two().max(2);
+        let banks = (p / 2).clamp(2, 16);
+        MachineConfig {
+            n_ces,
+            cache: CacheGeometry {
+                total_bytes: 16 * 1024 * p as u64,
+                line_bytes: 32,
+                banks,
+                assoc: 2,
+            },
+            mem_buses: (p / 4).max(1),
+            mem_interleave: banks,
+            ..MachineConfig::fx8()
+        }
     }
 
     /// A deliberately tiny machine for unit tests: 2 CEs, 4 KB cache.
@@ -450,11 +484,14 @@ impl MachineConfig {
 
     /// Validate geometry invariants.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.n_ces == 0 || self.n_ces > 8 {
+        // One CE per LaneWord bit: the probe word, the SWAR kernels and the
+        // monitor reductions are all lane-mask native up to this width.
+        let max = crate::probe::MAX_CES;
+        if self.n_ces == 0 || self.n_ces > max {
             return Err(ConfigError::out_of_range(
                 "n_ces",
                 self.n_ces,
-                "expected 1..=8",
+                format!("expected 1..={max}"),
             ));
         }
         self.cache.validate()?;
@@ -529,7 +566,7 @@ impl MachineConfigBuilder {
     }
 
     builder_setters! {
-        /// Number of Computing Elements (1..=8).
+        /// Number of Computing Elements (1..=[`crate::probe::MAX_CES`]).
         n_ces: usize,
         /// Number of Interactive Processors.
         n_ips: usize,
@@ -665,6 +702,47 @@ mod tests {
         assert_eq!(hopped.ccb_chain_delay(4), 6);
     }
 
+    /// Regression: `ce >= n_ces` underflowed `n_ces - 1 - ce` and returned
+    /// a delay of ~u64::MAX hops. Debug builds now trap on the misuse;
+    /// release builds saturate the distance to zero.
+    #[test]
+    fn chain_delay_out_of_range_ce_does_not_underflow() {
+        let mut c = MachineConfig::fx8();
+        c.ccb_chain_hop_cycles = 2;
+        if cfg!(debug_assertions) {
+            let r = std::panic::catch_unwind(|| c.ccb_chain_delay(8));
+            assert!(r.is_err(), "debug builds must trap on ce >= n_ces");
+        } else {
+            assert_eq!(c.ccb_chain_delay(8), 0);
+            assert_eq!(c.ccb_chain_delay(usize::MAX), 0);
+        }
+    }
+
+    #[test]
+    fn scaled_presets_validate_at_every_study_width() {
+        for w in [2usize, 4, 8, 16, 32, 64] {
+            let c = MachineConfig::scaled(w);
+            assert!(c.validate().is_ok(), "scaled({w}) must validate");
+            assert_eq!(c.n_ces, w);
+            // Per-CE cache share stays at the FX/8's 16 KB.
+            assert_eq!(c.cache.total_bytes, 16 * 1024 * w as u64);
+        }
+        // At the measured width the preset IS the measured machine's
+        // shared-resource geometry.
+        let eight = MachineConfig::scaled(8);
+        assert_eq!(eight.cache, MachineConfig::fx8().cache);
+        assert_eq!(eight.mem_buses, MachineConfig::fx8().mem_buses);
+        assert_eq!(eight.mem_interleave, MachineConfig::fx8().mem_interleave);
+        // Bank count saturates at the 16-bank crossbar ceiling.
+        assert_eq!(MachineConfig::scaled(64).cache.banks, 16);
+        assert_eq!(MachineConfig::scaled(64).mem_buses, 16);
+        // Odd widths round geometry up to the next power of two and still
+        // validate.
+        for w in [1usize, 3, 7, 33, 63] {
+            assert!(MachineConfig::scaled(w).validate().is_ok(), "scaled({w})");
+        }
+    }
+
     #[test]
     fn round_robin_rotates() {
         assert_eq!(Arbitration::RoundRobin.order(4, 1), vec![2, 3, 0, 1]);
@@ -679,7 +757,7 @@ mod tests {
             Arbitration::CenterFirst,
             Arbitration::RoundRobin,
         ] {
-            for n in 1..=8 {
+            for n in [1, 2, 3, 8, 16, 33, 64] {
                 for rotor in 0..n {
                     let mut o = arb.order(n, rotor);
                     o.sort_unstable();
@@ -736,11 +814,11 @@ mod tests {
     #[test]
     fn config_errors_name_field_and_value() {
         let mut c = MachineConfig::fx8();
-        c.n_ces = 9;
+        c.n_ces = 65;
         let e = c.validate().unwrap_err();
         assert_eq!(e.field(), "n_ces");
         assert!(e.to_string().contains("n_ces"));
-        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("65"));
 
         let mut g = MachineConfig::fx8().cache;
         g.line_bytes = 33;

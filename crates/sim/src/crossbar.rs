@@ -396,30 +396,45 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        const N_CES: usize = 8;
-        const BANKS: usize = 4;
+        /// Cluster widths the differential suite samples: narrower than
+        /// the measured machine, the machine itself, and the scaling-study
+        /// widths up to the full `LaneWord`.
+        const WIDTHS: [usize; 5] = [2, 8, 16, 32, 64];
+
+        /// Bank count for a width, mirroring the scaled preset's geometry
+        /// (one bank per two CEs, saturating at the 16-bank crossbar).
+        fn banks_for(n_ces: usize) -> usize {
+            (n_ces / 2).clamp(2, 16)
+        }
 
         /// Drive both resolvers through the same random request
         /// trajectory; after the SWAR side's deferred-denial flush every
         /// observable — winners each cycle, rotor state (via future
         /// winners), and the full counter set — must agree.
-        fn check_equivalence(arb: Arbitration, cycles: &[([LaneWord; BANKS], u64)]) {
-            let mut staged = Crossbar::new(N_CES, BANKS, arb);
-            let mut swar = Crossbar::new(N_CES, BANKS, arb);
+        fn check_equivalence(arb: Arbitration, n_ces: usize, cycles: &[(Vec<LaneWord>, u64)]) {
+            let banks = banks_for(n_ces);
+            let mut staged = Crossbar::new(n_ces, banks, arb);
+            let mut swar = Crossbar::new(n_ces, banks, arb);
             // SWAR-side deferred denial bookkeeping, per CE — the dense
             // kernel tracks this via its pending masks; here the request
             // table itself says who asked and lost.
-            let mut denied = [0u64; N_CES];
-            for (t, &(bank_req, service)) in cycles.iter().enumerate() {
+            let mut denied = vec![0u64; n_ces];
+            for (t, (bank_req, service)) in cycles.iter().enumerate() {
                 let now = t as Cycle;
-                let want = staged.arbitrate_masks(now, &bank_req, service);
+                let want = staged.arbitrate_masks(now, bank_req, *service);
                 let occupied =
                     bank_req
                         .iter()
                         .enumerate()
                         .fold(0u32, |o, (b, &m)| if m != 0 { o | 1 << b } else { o });
-                let got = swar.arbitrate_masks_swar(now, &bank_req, occupied, service);
-                prop_assert_eq!(want, got, "winners diverged at cycle {}", t);
+                let got = swar.arbitrate_masks_swar(now, bank_req, occupied, *service);
+                prop_assert_eq!(
+                    want,
+                    got,
+                    "winners diverged at cycle {} (width {})",
+                    t,
+                    n_ces
+                );
                 let requesters = bank_req.iter().fold(0, |a, &m| a | m);
                 let mut lost = requesters & !got;
                 while lost != 0 {
@@ -436,12 +451,13 @@ mod tests {
 
         /// Random per-bank requester masks with disjoint lanes (a CE
         /// requests at most one bank per cycle, as the cluster guarantees).
-        fn split_lanes(raw: [u8; N_CES]) -> [LaneWord; BANKS] {
-            let mut req = [0 as LaneWord; BANKS];
-            for (ce, &r) in raw.iter().enumerate() {
-                // 0..=BANKS encodes "no request" as BANKS.
-                let choice = (r as usize) % (BANKS + 1);
-                if choice < BANKS {
+        /// Only the first `n_ces` drawn bytes participate.
+        fn split_lanes(raw: &[u8], n_ces: usize, banks: usize) -> Vec<LaneWord> {
+            let mut req = vec![0 as LaneWord; banks];
+            for (ce, &r) in raw.iter().take(n_ces).enumerate() {
+                // 0..=banks encodes "no request" as banks.
+                let choice = (r as usize) % (banks + 1);
+                if choice < banks {
                     req[choice] |= 1 << ce;
                 }
             }
@@ -449,11 +465,15 @@ mod tests {
         }
 
         proptest! {
+            /// One byte per possible lane is drawn each cycle; the sampled
+            /// width decides how many take part, so the same trajectory
+            /// shape exercises 2-lane and 64-lane arbitration alike.
             #[test]
             fn swar_resolver_matches_staged_resolver(
                 arb_pick in 0usize..4,
+                width_pick in 0usize..WIDTHS.len(),
                 raw in prop::collection::vec(
-                    (prop::array::uniform8(any::<u8>()), 1u64..=3),
+                    (prop::collection::vec(any::<u8>(), 64..65), 1u64..=3),
                     1..60,
                 ),
             ) {
@@ -463,21 +483,24 @@ mod tests {
                     Arbitration::EndsFirst,
                     Arbitration::CenterFirst,
                 ][arb_pick];
-                let cycles: Vec<([LaneWord; BANKS], u64)> = raw
-                    .into_iter()
-                    .map(|(lanes, service)| (split_lanes(lanes), service))
+                let n_ces = WIDTHS[width_pick];
+                let banks = banks_for(n_ces);
+                let cycles: Vec<(Vec<LaneWord>, u64)> = raw
+                    .iter()
+                    .map(|(lanes, service)| (split_lanes(lanes, n_ces, banks), *service))
                     .collect();
-                check_equivalence(arb, &cycles);
+                check_equivalence(arb, n_ces, &cycles);
             }
 
             /// The lone-requester fast path in `winner_of` must pick the
             /// same winner as the policy scan for every discipline and
-            /// every single-bit mask.
+            /// every single-bit mask, across the full lane range.
             #[test]
             fn lone_requester_fast_path_is_policy_invariant(
                 arb_pick in 0usize..4,
-                ce in 0usize..N_CES,
-                rotor in 0usize..N_CES,
+                width_pick in 0usize..WIDTHS.len(),
+                lane_seed in 0usize..64,
+                rotor_seed in 0usize..64,
             ) {
                 let arb = [
                     Arbitration::FixedLowFirst,
@@ -485,7 +508,10 @@ mod tests {
                     Arbitration::EndsFirst,
                     Arbitration::CenterFirst,
                 ][arb_pick];
-                let x = Crossbar::new(N_CES, BANKS, arb);
+                let n_ces = WIDTHS[width_pick];
+                let ce = lane_seed % n_ces;
+                let rotor = rotor_seed % n_ces;
+                let x = Crossbar::new(n_ces, banks_for(n_ces), arb);
                 prop_assert_eq!(x.winner_of(1 << ce, rotor), ce);
             }
         }

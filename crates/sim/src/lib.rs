@@ -83,15 +83,16 @@ pub type Cycle = u64;
 
 /// The lane-mask word: one bit per CE lane in the dense SoA kernel, the
 /// crossbar's per-bank requester masks, and the monitor's batch probe
-/// reduction. Sized for the widest cluster the word-parallel (SWAR) paths
-/// can carry — widening to 16/32/64-CE clusters (ROADMAP item 1) is a
-/// matter of keeping this at `u64` and lifting the `MAX_CES` assertion,
-/// not of rewriting any kernel. The SWAR byte-packed accumulators in
-/// [`swar`] currently batch 8 lanes per word; wider machines split lanes
-/// across accumulator words.
+/// reduction. Every width-dependent structure is sized off this word, so
+/// the machine model is width-generic up to [`probe::MAX_CES`] = 64 lanes:
+/// the measured FX/8 uses 8 of them, the scaling study
+/// ([`MachineConfig::scaled`]) sweeps the rest. The SWAR byte-packed
+/// accumulators in [`swar`] batch 8 lanes per word; wider clusters chunk
+/// lanes into 8-lane groups ([`swar::lane_groups`]), one word each.
 pub type LaneWord = u64;
 
-/// Index of a Computing Element within the cluster (0..=7 on a full FX/8).
+/// Index of a Computing Element within the cluster (0..=7 on the measured
+/// FX/8; up to 0..=63 for scaled hypothetical clusters).
 pub type CeId = usize;
 
 /// Address-space identifier: one per job, plus [`addr::KERNEL_ASID`] for the OS.

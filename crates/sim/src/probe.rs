@@ -6,11 +6,13 @@
 //! Concurrency Control Bus. A [`ProbeWord`] is exactly one such record.
 
 use crate::opcode::{CeBusOp, MemBusOp};
-use crate::Cycle;
+use crate::{Cycle, LaneWord};
 use serde::{Deserialize, Serialize};
 
-/// Maximum cluster size the probe word supports.
-pub const MAX_CES: usize = 8;
+/// Maximum cluster size the probe word supports: one lane per bit of a
+/// [`LaneWord`]. The measured FX/8 used 8 of these lanes; the scaling
+/// study sweeps the full range.
+pub const MAX_CES: usize = LaneWord::BITS as usize;
 
 /// One captured record: the probed signal state at a single bus cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,8 +25,10 @@ pub struct ProbeWord {
     pub mem_op: MemBusOp,
     /// CCB activity lines: bit `j` set iff CE `j` is active in concurrent
     /// (or cluster-serial) operation. Detached, exclusively-serial processes
-    /// do not assert their line — the thesis's footnote 1.
-    pub active_mask: u8,
+    /// do not assert their line — the thesis's footnote 1. One bit per
+    /// possible lane ([`LaneWord`] wide), so no lane of a wide cluster is
+    /// ever truncated.
+    pub active_mask: LaneWord,
 }
 
 impl ProbeWord {
@@ -59,12 +63,12 @@ impl ProbeWord {
 
     /// Bitmask of CE lanes whose bus carries a non-idle opcode this cycle.
     /// The fixed-width loop unrolls; reducers then walk only the set bits
-    /// instead of testing all eight lanes per record.
+    /// instead of testing every lane per record.
     #[inline]
-    pub fn busy_ce_mask(&self) -> u8 {
-        let mut m = 0u8;
+    pub fn busy_ce_mask(&self) -> LaneWord {
+        let mut m: LaneWord = 0;
         for (j, op) in self.ce_ops.iter().enumerate() {
-            m |= (op.is_busy() as u8) << j;
+            m |= (op.is_busy() as LaneWord) << j;
         }
         m
     }
@@ -75,14 +79,10 @@ impl ProbeWord {
     /// captured buffers.
     pub fn check_wellformed(&self, n_ces: usize) -> Result<(), String> {
         debug_assert!((1..=MAX_CES).contains(&n_ces));
-        let width_mask = if n_ces >= 8 {
-            u8::MAX
-        } else {
-            (1u8 << n_ces) - 1
-        };
+        let width_mask = crate::swar::lane_mask(n_ces);
         if self.active_mask & !width_mask != 0 {
             return Err(format!(
-                "active_mask {:#010b} asserts lines beyond the {n_ces}-CE cluster",
+                "active_mask {:#b} asserts lines beyond the {n_ces}-CE cluster",
                 self.active_mask
             ));
         }
@@ -130,5 +130,33 @@ mod tests {
         w.ce_ops[0] = CeBusOp::Read;
         w.ce_ops[5] = CeBusOp::MissWait;
         assert_eq!(w.busy_ce_mask(), 0b0010_0001);
+    }
+
+    /// Regression: `active_mask` was a `u8`, so lanes 8..64 of a wide
+    /// cluster were silently dropped by every monitor-path reduction.
+    #[test]
+    fn lanes_beyond_eight_are_not_truncated() {
+        let mut w = ProbeWord::idle(0);
+        w.active_mask = (1 << 8) | (1 << 31) | (1 << 63);
+        assert_eq!(w.active_count(), 3);
+        assert!(w.is_active(8));
+        assert!(w.is_active(31));
+        assert!(w.is_active(63));
+        assert!(w.is_concurrent());
+        w.ce_ops[40] = CeBusOp::Read;
+        assert_eq!(w.busy_ce_mask(), 1 << 40);
+    }
+
+    #[test]
+    fn wellformed_bounds_scale_with_width() {
+        let mut w = ProbeWord::idle(0);
+        w.active_mask = 1 << 31;
+        assert!(w.check_wellformed(32).is_ok());
+        assert!(w.check_wellformed(31).is_err());
+        w.active_mask = u64::MAX;
+        assert!(w.check_wellformed(64).is_ok());
+        w.ce_ops[63] = CeBusOp::Read;
+        assert!(w.check_wellformed(64).is_ok());
+        assert!(w.check_wellformed(63).is_err());
     }
 }

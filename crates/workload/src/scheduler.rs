@@ -217,10 +217,13 @@ impl SessionDriver {
                 // Align progress to a dispatch-round boundary (multiple of
                 // the cluster width): the loop ran from iteration 0 on the
                 // real machine, so the leftover structure at its end is
-                // `iters mod 8`; resuming off-boundary would fabricate a
-                // different tail.
-                let progress = ((pos.offset / per_iter_wall) & !(MACRO_P - 1))
-                    .min(kernel.iters.saturating_sub(1));
+                // `iters mod n_ces`; resuming off-boundary would fabricate
+                // a different tail. The macro timeline itself stays in
+                // `MACRO_P` units (the duration model's fixed width); only
+                // the round boundary tracks the mounted cluster.
+                let width = self.cluster.config().n_ces as u64;
+                let rounds = pos.offset / per_iter_wall / width;
+                let progress = (rounds * width).min(kernel.iters.saturating_sub(1));
                 let after = crate::kernels::glue_serial().instantiate(asid);
                 self.cluster.mount_loop(
                     kernel.instantiate(asid),

@@ -21,7 +21,7 @@ fn probe_word_strategy() -> impl Strategy<Value = ProbeWord> {
     )
         .prop_map(|(cycle, mask, ce_ops, mem_op)| {
             let mut w = ProbeWord::idle(cycle);
-            w.active_mask = mask;
+            w.active_mask = mask as fx8_study::sim::LaneWord;
             for (i, &op) in ce_ops.iter().enumerate() {
                 w.ce_ops[i] = CeBusOp::ALL[op as usize];
             }
