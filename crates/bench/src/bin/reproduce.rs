@@ -1,12 +1,14 @@
 //! Regenerate every table and figure of the thesis's evaluation.
 //!
 //! ```text
-//! reproduce run     [--quick] [--audit] [--out DIR] [IDS...]
-//! reproduce scale   [--quick] [--widths LIST] [--json FILE]
+//! reproduce run     [--quick] [--audit] [--out DIR] [cache flags] [IDS...]
+//! reproduce scale   [--quick] [--widths LIST] [--json FILE] [cache flags]
 //! reproduce bench   [--as-baseline | --check-regression]
 //! reproduce audit   [--quick] [--width N]
 //! reproduce metrics [--quick] [--json FILE]
 //! reproduce trace   [--quick] [--out FILE] [--event-capacity N]
+//!
+//! cache flags: [--cache-dir DIR] [--no-cache] [--cache-stats]
 //! ```
 //!
 //! * `run` — run the study and print tables/figures. With no IDS,
@@ -36,7 +38,21 @@
 //!   `--widths 2,8,64`), printed as C_w/P_c/missrate/bus-utilization
 //!   curves; `--json FILE` writes the full
 //!   [`fx8_core::scale::ScaleStudy`]; `--quick` sweeps the scaled-down
-//!   study per width.
+//!   study per width. The sweep is *incremental*: every width's sessions
+//!   fan out through one shared pool and consult the result cache, so
+//!   re-running with one added width recomputes only that width's
+//!   sessions.
+//!
+//! `run` and `scale` memoize session results in a content-addressed cache
+//! (the simulator is bit-deterministic, so a session result is a pure
+//! function of its validated config, seed, session index, and engine
+//! version — see DESIGN.md §13). By default entries persist under
+//! `$XDG_CACHE_HOME/fx8` (or `~/.cache/fx8`); `--cache-dir DIR` redirects
+//! the store, `--no-cache` disables caching entirely, and `--cache-stats`
+//! prints a machine-greppable `cache-stats: hits=.. misses=.. stores=..
+//! invalid=..` line on stdout. Audit, metrics, and trace runs never read
+//! or write the cache: the auditor and the trace ring only exist on a
+//! freshly stepped cluster.
 //! * `audit` — run the study with the auditor's report only (no tables);
 //!   meaningful when built with `--features audit`. `--width N` audits a
 //!   scaled hypothetical cluster instead of the measured 8-CE machine.
@@ -54,6 +70,7 @@
 //! for one release and prints a deprecation note on stderr.
 
 use fx8_bench::throughput;
+use fx8_core::cache::{CacheStats, SessionCache};
 use fx8_core::observability::StudyObservability;
 use fx8_core::report::StudyReport;
 use fx8_core::scale::{ScaleConfig, ScaleStudy};
@@ -66,22 +83,110 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: reproduce <run|scale|bench|audit|metrics|trace> [options]\n\
      \n\
-     reproduce run     [--quick] [--audit] [--out DIR] [IDS...]\n\
-     reproduce scale   [--quick] [--widths LIST] [--json FILE]\n\
+     reproduce run     [--quick] [--audit] [--out DIR] [cache flags] [IDS...]\n\
+     reproduce scale   [--quick] [--widths LIST] [--json FILE] [cache flags]\n\
      reproduce bench   [--as-baseline | --check-regression] \
      [--cov-threshold F] [--max-windows N]\n\
      reproduce audit   [--quick] [--width N]\n\
      reproduce metrics [--quick] [--json FILE]\n\
      reproduce trace   [--quick] [--out FILE] [--event-capacity N]\n\
      \n\
+     cache flags: [--cache-dir DIR] [--no-cache] [--cache-stats] — session \
+     results\n\
+     memoize under --cache-dir (default ~/.cache/fx8); --no-cache disables, \
+     \n\
+     --cache-stats prints a greppable counter line\n\
+     \n\
      IDS: table1 table2 table3 table4 tableA1 fig3..fig14 figA1..figA5 \
      figB1..figB10 comparison observability"
+}
+
+/// The session-result-cache flags shared by `run` and `scale`.
+#[derive(Default)]
+struct CacheOpts {
+    /// Explicit persistent directory (`--cache-dir DIR`).
+    dir: Option<String>,
+    /// `--no-cache`: run every session fresh, store nothing.
+    no_cache: bool,
+    /// `--cache-stats`: print the greppable counter line on stdout.
+    stats: bool,
+}
+
+impl CacheOpts {
+    /// Try to consume one flag; true if it was a cache flag.
+    fn parse_flag(
+        &mut self,
+        flag: &str,
+        argv: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--cache-dir" => {
+                self.dir = Some(argv.next().ok_or("--cache-dir requires a directory")?);
+                Ok(true)
+            }
+            "--no-cache" => {
+                self.no_cache = true;
+                Ok(true)
+            }
+            "--cache-stats" => {
+                self.stats = true;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Resolve the flags to a cache. `--no-cache` wins; an explicit dir is
+    /// used as given; otherwise the conventional `~/.cache/fx8` location,
+    /// degrading to an in-process-only cache when no home resolves.
+    fn build(&self) -> Option<SessionCache> {
+        if self.no_cache {
+            return None;
+        }
+        Some(match (&self.dir, SessionCache::default_dir()) {
+            (Some(d), _) => SessionCache::at_dir(d),
+            (None, Some(d)) => SessionCache::at_dir(d),
+            (None, None) => SessionCache::in_memory(),
+        })
+    }
+
+    /// Narrate where results memoize (stderr) and, under `--cache-stats`,
+    /// print the machine-greppable counter line (stdout) CI parses.
+    fn report(&self, cache: Option<&SessionCache>, delta: &CacheStats) {
+        let Some(cache) = cache else {
+            if self.stats {
+                println!("cache-stats: disabled");
+            }
+            return;
+        };
+        match cache.dir() {
+            Some(d) => eprintln!(
+                "result cache: {} ({} hits / {} lookups)",
+                d.display(),
+                delta.hits,
+                delta.lookups()
+            ),
+            None => eprintln!(
+                "result cache: in-memory only, no cache dir resolved \
+                 ({} hits / {} lookups)",
+                delta.hits,
+                delta.lookups()
+            ),
+        }
+        if self.stats {
+            println!(
+                "cache-stats: hits={} misses={} stores={} invalid={}",
+                delta.hits, delta.misses, delta.stores, delta.invalid_entries
+            );
+        }
+    }
 }
 
 struct RunArgs {
     quick: bool,
     audit: bool,
     out: Option<String>,
+    cache: CacheOpts,
     ids: BTreeSet<String>,
 }
 
@@ -96,6 +201,7 @@ enum Cmd {
         quick: bool,
         widths: Option<Vec<usize>>,
         json: Option<String>,
+        cache: CacheOpts,
     },
     Audit {
         quick: bool,
@@ -117,6 +223,7 @@ fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
         quick: false,
         audit: false,
         out: None,
+        cache: CacheOpts::default(),
         ids: BTreeSet::new(),
     };
     while let Some(a) = argv.next() {
@@ -125,6 +232,7 @@ fn parse_run(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
             "--audit" => args.audit = true,
             "--out" => args.out = Some(argv.next().ok_or("--out requires a directory")?),
             "--help" | "-h" => return Err(usage().to_string()),
+            flag if args.cache.parse_flag(flag, &mut argv)? => {}
             id if !id.starts_with('-') => {
                 args.ids.insert(id.to_ascii_lowercase());
             }
@@ -175,6 +283,7 @@ fn parse_scale(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
     let mut quick = false;
     let mut widths = None;
     let mut json = None;
+    let mut cache = CacheOpts::default();
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--quick" => quick = true,
@@ -188,6 +297,7 @@ fn parse_scale(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
             }
             "--json" => json = Some(argv.next().ok_or("--json requires a file path")?),
             "--help" | "-h" => return Err(usage().to_string()),
+            flag if cache.parse_flag(flag, &mut argv)? => {}
             other => return Err(format!("unknown flag {other} for scale\n{}", usage())),
         }
     }
@@ -195,6 +305,7 @@ fn parse_scale(mut argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
         quick,
         widths,
         json,
+        cache,
     })
 }
 
@@ -332,6 +443,7 @@ fn parse_legacy(argv: impl Iterator<Item = String>) -> Result<Cmd, String> {
                 quick,
                 audit,
                 out,
+                cache: CacheOpts::default(),
                 ids,
             }),
         )
@@ -350,6 +462,7 @@ fn parse_cmd() -> Result<Cmd, String> {
             quick: false,
             audit: false,
             out: None,
+            cache: CacheOpts::default(),
             ids: BTreeSet::new(),
         })),
         Some(first) => match first.as_str() {
@@ -365,21 +478,17 @@ fn parse_cmd() -> Result<Cmd, String> {
     }
 }
 
-/// Allowed shortfall of a fresh measurement against the committed rate
-/// before `--check-regression` fails. Uniform across mounted states and
-/// much tighter than the old 15%/35% split: the CoV-adaptive harness
-/// re-times each state until its windows agree (and skips the gate
-/// entirely when they won't), so the tolerance only has to absorb
-/// sub-threshold jitter, not worst-case scheduler noise.
-const REGRESSION_TOLERANCE: f64 = 0.08;
-
 /// Measure throughput against the committed `current` entry without
 /// rewriting the file. Fails if any mounted-state rate dropped below its
 /// tolerance: the loop rate guards the dense stepper, the idle / serial /
-/// join-wait rates guard the fast-forward engine. States whose fresh
-/// measurement never settled under the CoV threshold are reported but not
-/// gated — their windows disagree too much for an 8% comparison to mean
-/// anything.
+/// join-wait rates guard the fast-forward engine. The verdicts come from
+/// [`throughput::regression_outcomes`]; this function only narrates them.
+/// Two kinds of state are reported but never gated: a fresh measurement
+/// that never settled under the CoV threshold (windows disagree too much
+/// for an 8% comparison to mean anything), and a committed rate that is
+/// zero or non-finite (a file written before that kernel's engine existed
+/// carries no baseline — gating against a 0.0 floor would vacuously pass
+/// everything and hide the missing number).
 fn run_check_regression(path: &str, opts: &throughput::BenchOptions) -> ExitCode {
     let committed = match throughput::load(path) {
         Ok(f) => f.current,
@@ -392,58 +501,45 @@ fn run_check_regression(path: &str, opts: &throughput::BenchOptions) -> ExitCode
     let fresh = throughput::measure_with(1.0, StudyConfig::quick(), opts);
     print!("{}", throughput::render("committed", &committed));
     print!("{}", throughput::render("fresh", &fresh));
-    let checks = [
-        (
-            "loop",
-            committed.loop_cycles_per_sec,
-            fresh.loop_cycles_per_sec,
-            fresh.loop_cov,
-        ),
-        (
-            "idle",
-            committed.idle_cycles_per_sec,
-            fresh.idle_cycles_per_sec,
-            fresh.idle_cov,
-        ),
-        (
-            "serial",
-            committed.serial_cycles_per_sec,
-            fresh.serial_cycles_per_sec,
-            fresh.serial_cov,
-        ),
-        (
-            "ff_loop",
-            committed.ff_loop_cycles_per_sec,
-            fresh.ff_loop_cycles_per_sec,
-            fresh.ff_loop_cov,
-        ),
-    ];
-    let tol_pct = (REGRESSION_TOLERANCE * 100.0) as u32;
+    let tol_pct = (throughput::REGRESSION_TOLERANCE * 100.0) as u32;
     let mut regressed = false;
-    for (name, committed_rate, fresh_rate, fresh_cov) in checks {
-        if fresh_cov >= opts.cov_threshold {
-            eprintln!(
-                "WARNING: skipping {name} regression gate: windows never settled \
-                 (CoV {:.1}% >= threshold {:.1}%) — runner too noisy for a {tol_pct}% \
-                 comparison",
-                fresh_cov * 100.0,
-                opts.cov_threshold * 100.0,
-            );
-            continue;
-        }
-        let floor = committed_rate * (1.0 - REGRESSION_TOLERANCE);
-        if fresh_rate < floor {
-            eprintln!(
-                "REGRESSION: {name} throughput {fresh_rate:.0} cycles/s fell below \
-                 {floor:.0} ({tol_pct}% under the committed {committed_rate:.0})",
-            );
-            regressed = true;
-        } else {
-            eprintln!(
-                "ok: {name} throughput {fresh_rate:.0} cycles/s within {tol_pct}% of \
-                 committed {committed_rate:.0} (CoV {:.1}%)",
-                fresh_cov * 100.0,
-            );
+    for o in throughput::regression_outcomes(&committed, &fresh, opts.cov_threshold) {
+        let name = o.kernel;
+        match o.verdict {
+            throughput::GateVerdict::SkippedNoBaseline => {
+                eprintln!(
+                    "NOTE: no regression gate for {name}: committed rate is {} — \
+                     the committed file predates this kernel's measurement; \
+                     re-run `reproduce bench` to record a baseline",
+                    o.committed_rate,
+                );
+            }
+            throughput::GateVerdict::SkippedNoisy => {
+                eprintln!(
+                    "WARNING: skipping {name} regression gate: windows never settled \
+                     (CoV {:.1}% >= threshold {:.1}%) — runner too noisy for a {tol_pct}% \
+                     comparison",
+                    o.fresh_cov * 100.0,
+                    opts.cov_threshold * 100.0,
+                );
+            }
+            throughput::GateVerdict::Regressed => {
+                eprintln!(
+                    "REGRESSION: {name} throughput {:.0} cycles/s fell below \
+                     {:.0} ({tol_pct}% under the committed {:.0})",
+                    o.fresh_rate, o.floor, o.committed_rate,
+                );
+                regressed = true;
+            }
+            throughput::GateVerdict::Ok => {
+                eprintln!(
+                    "ok: {name} throughput {:.0} cycles/s within {tol_pct}% of \
+                     committed {:.0} (CoV {:.1}%)",
+                    o.fresh_rate,
+                    o.committed_rate,
+                    o.fresh_cov * 100.0,
+                );
+            }
         }
     }
     if regressed {
@@ -496,6 +592,16 @@ fn study_cfg(quick: bool, trace: TraceConfig) -> Result<StudyConfig, ConfigError
 
 /// Run the study, narrating scale and timing on stderr.
 fn run_study_observed(cfg: StudyConfig, quick: bool) -> (Study, StudyObservability) {
+    run_study_cached(cfg, quick, None)
+}
+
+/// Run the study against an optional result cache, narrating scale and
+/// timing on stderr.
+fn run_study_cached(
+    cfg: StudyConfig,
+    quick: bool,
+    cache: Option<&SessionCache>,
+) -> (Study, StudyObservability) {
     eprintln!(
         "running study: {} random sessions, {} triggered, {} transition ({} mode)...",
         cfg.n_random,
@@ -503,7 +609,7 @@ fn run_study_observed(cfg: StudyConfig, quick: bool) -> (Study, StudyObservabili
         cfg.n_transition,
         if quick { "quick" } else { "paper" }
     );
-    let (study, obs) = Study::run_observed(cfg);
+    let (study, obs) = Study::run_with_cache(cfg, cache);
     eprintln!(
         "study complete in {:.1}s: {} samples, {} records",
         obs.study_wall_s,
@@ -539,7 +645,9 @@ fn cmd_run(args: RunArgs) -> ExitCode {
         Ok(c) => c,
         Err(e) => return config_error(e),
     };
-    let (study, obs) = run_study_observed(cfg, args.quick);
+    let cache = args.cache.build();
+    let (study, obs) = run_study_cached(cfg, args.quick, cache.as_ref());
+    args.cache.report(cache.as_ref(), &obs.cache);
 
     if args.audit && !print_audit(&study) {
         return ExitCode::FAILURE;
@@ -634,7 +742,12 @@ fn cmd_audit(quick: bool, width: Option<usize>) -> ExitCode {
     }
 }
 
-fn cmd_scale(quick: bool, widths: Option<Vec<usize>>, json: Option<String>) -> ExitCode {
+fn cmd_scale(
+    quick: bool,
+    widths: Option<Vec<usize>>,
+    json: Option<String>,
+    cache_opts: CacheOpts,
+) -> ExitCode {
     let mut cfg = if quick {
         ScaleConfig::quick()
     } else {
@@ -648,10 +761,18 @@ fn cmd_scale(quick: bool, widths: Option<Vec<usize>>, json: Option<String>) -> E
         cfg.widths,
         if quick { "quick" } else { "paper" }
     );
-    let study = match ScaleStudy::run(&cfg) {
+    let cache = cache_opts.build();
+    let (study, stats) = match ScaleStudy::run_cached(&cfg, cache.as_ref()) {
         Ok(s) => s,
         Err(e) => return config_error(e),
     };
+    eprintln!(
+        "sweep complete in {:.1}s: {} sessions across {} widths",
+        stats.sweep_wall_s,
+        stats.sessions,
+        cfg.widths.len()
+    );
+    cache_opts.report(cache.as_ref(), &stats.cache);
     print!("{}", study.render());
     if let Some(path) = json {
         let payload = serde_json::to_string(&study).expect("scale study serializes");
@@ -741,7 +862,8 @@ fn main() -> ExitCode {
             quick,
             widths,
             json,
-        } => cmd_scale(quick, widths, json),
+            cache,
+        } => cmd_scale(quick, widths, json, cache),
         Cmd::Audit { quick, width } => cmd_audit(quick, width),
         Cmd::Metrics { quick, json } => cmd_metrics(quick, json),
         Cmd::Trace {

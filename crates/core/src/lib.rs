@@ -12,7 +12,12 @@
 //! * [`study`] — the complete study (9 random + 10 triggered + 5
 //!   transition sessions), run in parallel across sessions;
 //! * [`scale`] — the width sweep the paper couldn't run: one study per
-//!   cluster width, reduced to C_w/P_c/missrate/bus-utilization curves;
+//!   cluster width, reduced to C_w/P_c/missrate/bus-utilization curves,
+//!   run incrementally against the result cache;
+//! * [`cache`] — determinism-backed memoization of session results: an
+//!   in-process map over an optional content-addressed on-disk store;
+//! * [`executor`] — the longest-task-first work-stealing pool the study
+//!   and the width sweep share;
 //! * [`tables`] — Tables 1–4 and A.1;
 //! * [`figures`] — Figures 3–14, A.1–A.5 and B.1–B.10;
 //! * [`report`] — the full text report and the paper-vs-measured
@@ -21,6 +26,8 @@
 //!   metrics/events pooled across the run, plus wall-clock
 //!   self-profiling of `Study::run`.
 
+pub mod cache;
+pub mod executor;
 pub mod experiment;
 pub mod figures;
 pub mod observability;
@@ -30,20 +37,22 @@ pub mod scale;
 pub mod study;
 pub mod tables;
 
+pub use cache::{CacheStats, SessionCache};
 pub use sample::Sample;
-pub use scale::{ScaleConfig, ScalePoint, ScaleStudy};
+pub use scale::{ScaleConfig, ScalePoint, ScaleStudy, SweepStats};
 pub use study::{SessionAudit, Study, StudyAuditReport, StudyConfig};
 
 /// The types most programs need, importable in one line:
 /// `use fx8_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, CachedSession, SessionCache, SessionKind};
     pub use crate::experiment::{Capture, SessionConfig, SessionResult};
     pub use crate::observability::{
         MetricsReport, SessionMetrics, SessionObservability, StudyObservability,
     };
     pub use crate::report::{CompRow, StudyReport};
     pub use crate::sample::Sample;
-    pub use crate::scale::{ScaleConfig, ScalePoint, ScaleStudy};
+    pub use crate::scale::{ScaleConfig, ScalePoint, ScaleStudy, SweepStats};
     pub use crate::study::{Study, StudyAuditReport, StudyConfig, StudyConfigBuilder};
     pub use fx8_monitor::EventCounts;
     pub use fx8_sim::{ConfigError, MachineConfig, MachineConfigBuilder, TraceConfig};

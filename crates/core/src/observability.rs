@@ -10,6 +10,7 @@
 //! [`crate::report::StudyReport`], serializes to the `reproduce metrics`
 //! JSON, and exports the `reproduce trace` Chrome `trace_event` file.
 
+use crate::cache::CacheStats;
 use fx8_sim::trace::{ChromeTraceBuilder, EngineCycles, MetricsSnapshot, TraceEvent};
 use fx8_sim::Cluster;
 use serde::Serialize;
@@ -32,6 +33,9 @@ pub struct SessionObservability {
     pub events: Vec<TraceEvent>,
     /// Events evicted by the bounded ring.
     pub events_dropped: u64,
+    /// Whether the session was answered by the result cache instead of
+    /// being stepped (metrics are then empty: no cluster existed).
+    pub cache_hit: bool,
 }
 
 impl SessionObservability {
@@ -43,6 +47,21 @@ impl SessionObservability {
             metrics: cluster.metrics(),
             events: cluster.trace_events(),
             events_dropped: cluster.trace_dropped_events(),
+            cache_hit: false,
+        }
+    }
+
+    /// The observability slice of a session answered from the result
+    /// cache: no cluster ever existed, so the metrics registry is empty
+    /// and only the (tiny) lookup wall clock is real.
+    pub fn cached(label: String, started: Instant) -> Self {
+        SessionObservability {
+            label,
+            wall_s: started.elapsed().as_secs_f64(),
+            metrics: MetricsSnapshot::default(),
+            events: Vec::new(),
+            events_dropped: 0,
+            cache_hit: true,
         }
     }
 }
@@ -57,6 +76,9 @@ pub struct StudyObservability {
     /// Wall-clock seconds for the whole study (parallel sessions overlap,
     /// so this is typically far less than the sum of session wall times).
     pub study_wall_s: f64,
+    /// Result-cache counters for this study alone (all zero when the run
+    /// was uncached).
+    pub cache: CacheStats,
 }
 
 impl StudyObservability {
@@ -97,12 +119,14 @@ impl StudyObservability {
             study_wall_s: self.study_wall_s,
             total_cycles: self.total_cycles(),
             engine: self.pooled_engine(),
+            cache: self.cache,
             sessions: self
                 .sessions
                 .iter()
                 .map(|s| SessionMetrics {
                     label: s.label.clone(),
                     wall_s: s.wall_s,
+                    cache_hit: s.cache_hit,
                     metrics: s.metrics.clone(),
                 })
                 .collect(),
@@ -122,6 +146,17 @@ impl StudyObservability {
             self.study_wall_s,
             self.sessions.len()
         );
+        if self.cache.lookups() > 0 {
+            let _ = writeln!(
+                out,
+                "result cache: {} hits / {} lookups ({:.0}%), {} stored, {} invalid entries skipped",
+                self.cache.hits,
+                self.cache.lookups(),
+                100.0 * self.cache.hit_rate(),
+                self.cache.stores,
+                self.cache.invalid_entries,
+            );
+        }
         let pct = |part: u64| {
             if eng.total == 0 {
                 0.0
@@ -144,7 +179,7 @@ impl StudyObservability {
             let m = &s.metrics;
             let _ = writeln!(
                 out,
-                "  {:<14} {:>9.3} s  {:>14} cycles  {:>12} instrs  xbar {}g/{}d  faults {}u/{}s",
+                "  {:<14} {:>9.3} s  {:>14} cycles  {:>12} instrs  xbar {}g/{}d  faults {}u/{}s{}",
                 s.label,
                 s.wall_s,
                 m.cycles.total,
@@ -153,6 +188,7 @@ impl StudyObservability {
                 m.crossbar_retries,
                 m.vm_user_faults,
                 m.vm_system_faults,
+                if s.cache_hit { "  [cached]" } else { "" },
             );
             if m.ccb_grant_latency.count > 0 {
                 let _ = writeln!(
@@ -186,6 +222,8 @@ pub struct MetricsReport {
     pub total_cycles: u64,
     /// Pooled per-engine split; partitions `total_cycles`.
     pub engine: EngineCycles,
+    /// Result-cache counters for this study alone.
+    pub cache: CacheStats,
     /// Per-session registries.
     pub sessions: Vec<SessionMetrics>,
 }
@@ -197,6 +235,8 @@ pub struct SessionMetrics {
     pub label: String,
     /// Wall-clock seconds for the session.
     pub wall_s: f64,
+    /// Whether the session was answered by the result cache.
+    pub cache_hit: bool,
     /// The session cluster's full registry snapshot.
     pub metrics: MetricsSnapshot,
 }
@@ -245,6 +285,7 @@ mod tests {
                         kind: fx8_sim::trace::MountKind::Loop,
                     }],
                     events_dropped: 0,
+                    cache_hit: false,
                 },
                 SessionObservability {
                     label: "triggered 0".into(),
@@ -252,9 +293,16 @@ mod tests {
                     metrics: snap(50, 0),
                     events: vec![],
                     events_dropped: 0,
+                    cache_hit: true,
                 },
             ],
             study_wall_s: 0.6,
+            cache: CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1,
+                invalid_entries: 0,
+            },
         }
     }
 
@@ -284,6 +332,8 @@ mod tests {
         assert!(json.contains("\"total_cycles\""));
         assert!(json.contains("\"random 0\""));
         assert!(json.contains("\"engine\""));
+        assert!(json.contains("\"cache\""));
+        assert!(json.contains("\"cache_hit\":true"));
     }
 
     #[test]
@@ -293,5 +343,7 @@ mod tests {
         assert!(text.contains("random 0"));
         assert!(text.contains("triggered 0"));
         assert!(text.contains("engine residency"));
+        assert!(text.contains("result cache: 1 hits / 2 lookups (50%)"));
+        assert!(text.contains("[cached]"));
     }
 }

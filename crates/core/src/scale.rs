@@ -10,6 +10,8 @@
 //! workload mix, session plan, and base seed, so the curves isolate the
 //! machine's width from everything else.
 
+use crate::cache::{CacheStats, SessionCache};
+use crate::executor;
 use crate::study::{Study, StudyConfig, StudyConfigBuilder};
 use fx8_sim::{ConfigError, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -116,19 +118,83 @@ pub struct ScaleStudy {
     pub points: Vec<ScalePoint>,
 }
 
+/// Wall-clock and cache accounting of one sweep run (the sweep analogue
+/// of a study's observability; never part of [`ScaleStudy`], so sweep
+/// results stay bit-comparable across cached and uncached runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Wall-clock seconds for the whole sweep.
+    pub sweep_wall_s: f64,
+    /// Sessions scheduled across every width.
+    pub sessions: usize,
+    /// Result-cache counters for this sweep alone (zero when uncached).
+    pub cache: CacheStats,
+}
+
 impl ScaleStudy {
     /// Run the sweep: a complete [`Study`] per width, widths in order.
     pub fn run(cfg: &ScaleConfig) -> Result<ScaleStudy, ConfigError> {
+        Ok(ScaleStudy::run_cached(cfg, None)?.0)
+    }
+
+    /// Run the sweep as an *incremental* fan-out: every width's session
+    /// tasks are flattened into one longest-first pool (so widths overlap
+    /// on the host instead of running one study at a time), and each task
+    /// consults the result cache before stepping. Re-running a sweep with
+    /// one added width therefore recomputes only that width's sessions —
+    /// every previously-computed (width, session) point loads.
+    pub fn run_cached(
+        cfg: &ScaleConfig,
+        cache: Option<&SessionCache>,
+    ) -> Result<(ScaleStudy, SweepStats), ConfigError> {
         cfg.validate()?;
-        let points = cfg
+        let started = std::time::Instant::now();
+        let before = cache.map(|c| c.stats());
+        let studies: Vec<StudyConfig> = cfg
             .widths
             .iter()
-            .map(|&w| {
-                let study = Study::run(cfg.study_for_width(w).expect("validated above"));
+            .map(|&w| cfg.study_for_width(w).expect("validated above"))
+            .collect();
+        // Flatten (width slot, session task) pairs so the executor
+        // schedules the whole sweep as one pool.
+        let tasks: Vec<(usize, crate::study::SessionTask)> = studies
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, sc)| sc.session_tasks().into_iter().map(move |t| (wi, t)))
+            .collect();
+        let n_sessions = tasks.len();
+        let outputs = executor::run_longest_first(
+            &tasks,
+            |(_, t)| t.weight(),
+            |(_, t)| t.run(cache),
+            cfg.base.parallel,
+        );
+        // Regroup outputs per width, preserving task order within each
+        // width (the flattening enumerates widths in order, and the
+        // executor returns outputs in task order).
+        let mut per_width: Vec<Vec<crate::study::SessionOut>> =
+            studies.iter().map(|_| Vec::new()).collect();
+        for ((wi, _), out) in tasks.iter().zip(outputs) {
+            per_width[*wi].push(out);
+        }
+        let points = studies
+            .into_iter()
+            .zip(per_width)
+            .zip(cfg.widths.iter())
+            .map(|((sc, outs), &w)| {
+                let (study, _obs) = Study::assemble(sc, outs);
                 ScalePoint::from_study(w, &study)
             })
             .collect();
-        Ok(ScaleStudy { points })
+        let stats = SweepStats {
+            sweep_wall_s: started.elapsed().as_secs_f64(),
+            sessions: n_sessions,
+            cache: match (cache, before) {
+                (Some(c), Some(b)) => c.stats().since(&b),
+                _ => CacheStats::default(),
+            },
+        };
+        Ok((ScaleStudy { points }, stats))
     }
 
     /// Render the curves as a text table plus an ASCII C_w curve — the

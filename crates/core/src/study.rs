@@ -6,6 +6,8 @@
 //! seeds), so the study runs them in parallel with scoped threads — the
 //! results are bit-identical to a serial run.
 
+use crate::cache::{CacheStats, CachedSession, SessionCache, SessionKind};
+use crate::executor;
 use crate::experiment::{
     run_random_session_observed, run_transition_session_observed, run_triggered_session_observed,
     Capture, SessionConfig, SessionResult,
@@ -18,8 +20,6 @@ use fx8_sim::{ConfigError, MachineConfig};
 use fx8_stats::measures::ConcurrencyMeasures;
 use fx8_workload::WorkloadMix;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Session length used when [`StudyConfig::session_hours`] is empty: the
 /// paper's typical session ("each session lasted between four and eight
@@ -120,6 +120,204 @@ impl StudyConfig {
             mix: self.mix.clone(),
             hours,
             ..SessionConfig::paper(self.base_seed + seed_offset)
+        }
+    }
+
+    /// The study's full session plan, in result order: random sessions
+    /// first, then triggered, then transition. This is the unit the
+    /// executor schedules and the cache keys.
+    pub(crate) fn session_tasks(&self) -> Vec<SessionTask> {
+        let mut tasks = Vec::new();
+        for i in 0..self.n_random {
+            let hours = self.hours_for_session(i);
+            tasks.push(SessionTask {
+                kind: SessionKind::Random,
+                idx: i,
+                cfg: self.session_cfg(i as u64, hours),
+                captures: 0,
+            });
+        }
+        for i in 0..self.n_triggered {
+            tasks.push(SessionTask {
+                kind: SessionKind::Triggered,
+                idx: i,
+                cfg: self.session_cfg(1000 + i as u64, 1.0),
+                captures: self.captures_per_triggered,
+            });
+        }
+        for i in 0..self.n_transition {
+            tasks.push(SessionTask {
+                kind: SessionKind::Transition,
+                idx: i,
+                cfg: self.session_cfg(2000 + i as u64, 1.0),
+                captures: self.captures_per_transition,
+            });
+        }
+        tasks
+    }
+}
+
+/// One schedulable session of a study: the protocol, the session's index
+/// within that protocol, its full config, and (for triggered kinds) the
+/// capture budget. The cache key is derived from exactly these fields.
+pub(crate) struct SessionTask {
+    pub(crate) kind: SessionKind,
+    pub(crate) idx: usize,
+    pub(crate) cfg: SessionConfig,
+    pub(crate) captures: usize,
+}
+
+/// One finished session, cache-transparent: the study assembles these
+/// identically whether they were computed or loaded.
+pub(crate) enum SessionOut {
+    Random {
+        idx: usize,
+        result: SessionResult,
+        obs: SessionObservability,
+    },
+    Triggered {
+        idx: usize,
+        captures: Vec<Capture>,
+        audit: AuditReport,
+        obs: SessionObservability,
+    },
+    Transition {
+        idx: usize,
+        captures: Vec<Capture>,
+        audit: AuditReport,
+        obs: SessionObservability,
+    },
+}
+
+impl SessionTask {
+    /// Estimated session cost, for longest-task-first scheduling. Random
+    /// sessions simulate one 512-record buffer per snapshot; triggered
+    /// and transition captures pay an extra trigger-seek on top of each
+    /// buffer (transitions seek much longer for a falling edge). Only
+    /// wall time depends on this estimate — results are keyed by task
+    /// index and each task owns its seeds, so order never changes output.
+    pub(crate) fn weight(&self) -> f64 {
+        match self.kind {
+            SessionKind::Random => {
+                let samples = (self.cfg.hours * 3600.0 / self.cfg.sample_interval_s).max(1.0);
+                samples * self.cfg.snapshots_per_sample as f64
+            }
+            SessionKind::Triggered => 2.0 * self.captures as f64,
+            SessionKind::Transition => 4.0 * self.captures as f64,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} {}",
+            match self.kind {
+                SessionKind::Random => "random",
+                SessionKind::Triggered => "triggered",
+                SessionKind::Transition => "transition",
+            },
+            self.idx
+        )
+    }
+
+    /// Run the session, consulting the cache first when one is given. A
+    /// hit returns the memoized output bit-identical to a fresh run,
+    /// under an observability slice flagged `cache_hit` (empty metrics:
+    /// no cycles were stepped). A miss computes, stores, and returns.
+    pub(crate) fn run(&self, cache: Option<&SessionCache>) -> SessionOut {
+        let Some(cache) = cache else {
+            return self.compute();
+        };
+        let started = std::time::Instant::now();
+        let key = cache.key(self.kind, &self.cfg, self.idx, self.captures);
+        if let Some(hit) = cache.lookup(&key) {
+            if let Some(out) = self.unpack_cached(hit, started) {
+                return out;
+            }
+            // Kind mismatch under an identical key can only mean a
+            // fingerprint collision or a tampered store; recompute.
+        }
+        let out = self.compute();
+        cache.store(&key, &out.to_cached());
+        out
+    }
+
+    fn compute(&self) -> SessionOut {
+        match self.kind {
+            SessionKind::Random => {
+                let (result, obs) = run_random_session_observed(&self.cfg, self.idx);
+                SessionOut::Random {
+                    idx: self.idx,
+                    result,
+                    obs,
+                }
+            }
+            SessionKind::Triggered => {
+                let (captures, audit, obs) =
+                    run_triggered_session_observed(&self.cfg, self.idx, self.captures);
+                SessionOut::Triggered {
+                    idx: self.idx,
+                    captures,
+                    audit,
+                    obs,
+                }
+            }
+            SessionKind::Transition => {
+                let (captures, audit, obs) =
+                    run_transition_session_observed(&self.cfg, self.idx, self.captures);
+                SessionOut::Transition {
+                    idx: self.idx,
+                    captures,
+                    audit,
+                    obs,
+                }
+            }
+        }
+    }
+
+    fn unpack_cached(&self, hit: CachedSession, started: std::time::Instant) -> Option<SessionOut> {
+        let obs = SessionObservability::cached(self.label(), started);
+        match (self.kind, hit) {
+            (SessionKind::Random, CachedSession::Random { result }) => Some(SessionOut::Random {
+                idx: self.idx,
+                result,
+                obs,
+            }),
+            (SessionKind::Triggered, CachedSession::Captures { captures, audit }) => {
+                Some(SessionOut::Triggered {
+                    idx: self.idx,
+                    captures,
+                    audit,
+                    obs,
+                })
+            }
+            (SessionKind::Transition, CachedSession::Captures { captures, audit }) => {
+                Some(SessionOut::Transition {
+                    idx: self.idx,
+                    captures,
+                    audit,
+                    obs,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SessionOut {
+    fn to_cached(&self) -> CachedSession {
+        match self {
+            SessionOut::Random { result, .. } => CachedSession::Random {
+                result: result.clone(),
+            },
+            SessionOut::Triggered {
+                captures, audit, ..
+            }
+            | SessionOut::Transition {
+                captures, audit, ..
+            } => CachedSession::Captures {
+                captures: captures.clone(),
+                audit: audit.clone(),
+            },
         }
     }
 }
@@ -234,127 +432,86 @@ impl Study {
     /// steers, and wall time lives only in the second tuple element, so
     /// the determinism suite keeps comparing studies whole.
     pub fn run_observed(config: StudyConfig) -> (Study, StudyObservability) {
+        Study::run_with_cache(config, None)
+    }
+
+    /// [`Study::run_observed`] against a session result cache: each
+    /// session consults the cache before stepping a single cycle and
+    /// stores its output on completion. Because the simulator is
+    /// bit-deterministic, the returned [`Study`] is bit-identical whether
+    /// every session hit, missed, or mixed — only wall clock and the
+    /// observability's [`CacheStats`] differ.
+    pub fn run_cached(config: StudyConfig, cache: &SessionCache) -> (Study, StudyObservability) {
+        Study::run_with_cache(config, Some(cache))
+    }
+
+    /// The general entry point behind [`Study::run`], [`Study::run_observed`]
+    /// and [`Study::run_cached`].
+    pub fn run_with_cache(
+        config: StudyConfig,
+        cache: Option<&SessionCache>,
+    ) -> (Study, StudyObservability) {
         let study_started = std::time::Instant::now();
-        enum Task {
-            Random(usize, SessionConfig),
-            Triggered(usize, SessionConfig, usize),
-            Transition(usize, SessionConfig, usize),
-        }
-        enum Out {
-            Random(usize, SessionResult, SessionObservability),
-            Triggered(usize, Vec<Capture>, AuditReport, SessionObservability),
-            Transition(usize, Vec<Capture>, AuditReport, SessionObservability),
-        }
-        let mut tasks = Vec::new();
-        for i in 0..config.n_random {
-            let hours = config.hours_for_session(i);
-            tasks.push(Task::Random(i, config.session_cfg(i as u64, hours)));
-        }
-        for i in 0..config.n_triggered {
-            let cfg = config.session_cfg(1000 + i as u64, 1.0);
-            tasks.push(Task::Triggered(i, cfg, config.captures_per_triggered));
-        }
-        for i in 0..config.n_transition {
-            let cfg = config.session_cfg(2000 + i as u64, 1.0);
-            tasks.push(Task::Transition(i, cfg, config.captures_per_transition));
-        }
-
-        let run_task = |t: &Task| -> Out {
-            match t {
-                Task::Random(i, cfg) => {
-                    let (r, obs) = run_random_session_observed(cfg, *i);
-                    Out::Random(*i, r, obs)
-                }
-                Task::Triggered(i, cfg, n) => {
-                    let (caps, audit, obs) = run_triggered_session_observed(cfg, *i, *n);
-                    Out::Triggered(*i, caps, audit, obs)
-                }
-                Task::Transition(i, cfg, n) => {
-                    let (caps, audit, obs) = run_transition_session_observed(cfg, *i, *n);
-                    Out::Transition(*i, caps, audit, obs)
-                }
-            }
+        let tasks = config.session_tasks();
+        let before = cache.map(|c| c.stats());
+        // Work queue: a pool sized to the host pulls the heaviest
+        // remaining session first, so total wall time is bounded by the
+        // single heaviest session instead of by thread oversubscription.
+        let outputs = executor::run_longest_first(
+            &tasks,
+            SessionTask::weight,
+            |t| t.run(cache),
+            config.parallel,
+        );
+        let (study, session_obs) = Study::assemble(config, outputs);
+        let observability = StudyObservability {
+            sessions: session_obs,
+            study_wall_s: study_started.elapsed().as_secs_f64(),
+            cache: match (cache, before) {
+                (Some(c), Some(b)) => c.stats().since(&b),
+                _ => CacheStats::default(),
+            },
         };
+        (study, observability)
+    }
 
-        // Estimated session cost, for longest-task-first scheduling. Random
-        // sessions simulate one 512-record buffer per snapshot; triggered
-        // and transition captures pay an extra trigger-seek on top of each
-        // buffer (transitions seek much longer for a falling edge). Only
-        // wall time depends on this estimate — results are keyed by task
-        // index and each task owns its seeds, so order never changes output.
-        let estimated_buffers = |t: &Task| -> f64 {
-            match t {
-                Task::Random(_, cfg) => {
-                    let samples = (cfg.hours * 3600.0 / cfg.sample_interval_s).max(1.0);
-                    samples * cfg.snapshots_per_sample as f64
-                }
-                Task::Triggered(_, _, n) => 2.0 * *n as f64,
-                Task::Transition(_, _, n) => 4.0 * *n as f64,
-            }
-        };
-
-        let outputs: Vec<Out> = if config.parallel {
-            // Work queue: a pool sized to the host pulls the heaviest
-            // remaining session first, so total wall time is bounded by the
-            // single heaviest session instead of by thread oversubscription
-            // (the old code spawned one thread per session).
-            let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_by(|&a, &b| {
-                estimated_buffers(&tasks[b])
-                    .total_cmp(&estimated_buffers(&tasks[a]))
-                    .then(a.cmp(&b))
-            });
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<Out>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
-            let workers = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .min(tasks.len().max(1));
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&idx) = order.get(k) else { break };
-                        let out = run_task(&tasks[idx]);
-                        *slots[idx].lock().expect("result slot poisoned") = Some(out);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|m| {
-                    m.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every queued session ran")
-                })
-                .collect()
-        } else {
-            tasks.iter().map(run_task).collect()
-        };
-
+    /// Assemble finished session outputs (in task order: random, then
+    /// triggered, then transition — exactly the session order the
+    /// observability report documents) into the study's data set.
+    pub(crate) fn assemble(
+        config: StudyConfig,
+        outputs: Vec<SessionOut>,
+    ) -> (Study, Vec<SessionObservability>) {
         let mut random_sessions = vec![None; config.n_random];
         let mut triggered = vec![Vec::new(); config.n_triggered];
         let mut transitions = vec![Vec::new(); config.n_transition];
         let mut triggered_audits = vec![AuditReport::default(); config.n_triggered];
         let mut transition_audits = vec![AuditReport::default(); config.n_transition];
-        // `outputs` is in task order (random, then triggered, then
-        // transition), which is exactly the session order the
-        // observability report documents.
         let mut session_obs = Vec::with_capacity(outputs.len());
         for out in outputs {
             match out {
-                Out::Random(i, r, obs) => {
-                    random_sessions[i] = Some(r);
+                SessionOut::Random { idx, result, obs } => {
+                    random_sessions[idx] = Some(result);
                     session_obs.push(obs);
                 }
-                Out::Triggered(i, b, a, obs) => {
-                    triggered[i] = b;
-                    triggered_audits[i] = a;
+                SessionOut::Triggered {
+                    idx,
+                    captures,
+                    audit,
+                    obs,
+                } => {
+                    triggered[idx] = captures;
+                    triggered_audits[idx] = audit;
                     session_obs.push(obs);
                 }
-                Out::Transition(i, b, a, obs) => {
-                    transitions[i] = b;
-                    transition_audits[i] = a;
+                SessionOut::Transition {
+                    idx,
+                    captures,
+                    audit,
+                    obs,
+                } => {
+                    transitions[idx] = captures;
+                    transition_audits[idx] = audit;
                     session_obs.push(obs);
                 }
             }
@@ -370,11 +527,7 @@ impl Study {
             triggered_audits,
             transition_audits,
         };
-        let observability = StudyObservability {
-            sessions: session_obs,
-            study_wall_s: study_started.elapsed().as_secs_f64(),
-        };
-        (study, observability)
+        (study, session_obs)
     }
 
     /// Every sample of every random session, session order then time order.

@@ -1,0 +1,216 @@
+//! Correctness suite for the content-addressed session result cache.
+//!
+//! The cache is only sound because the simulator is bit-deterministic: a
+//! cached study must be **indistinguishable** from a freshly computed one.
+//! These tests drive a mini study cold and warm through a real on-disk
+//! store and assert bit-identity, then attack the store — corrupt entries,
+//! truncated entries, foreign keys, a bumped engine-version salt — and
+//! assert every attack degrades to a recompute, never to a wrong result.
+
+use fx8_core::cache::{CachedSession, SessionCache, SessionKind};
+use fx8_core::experiment::SessionConfig;
+use fx8_core::study::{Study, StudyConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A unique scratch directory under the system temp dir. Not auto-cleaned
+/// (test scratch under tmp), but unique per call so tests never collide.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before epoch")
+        .subsec_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "fx8-cache-test-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    dir
+}
+
+/// A study small enough to run in a test, with all three session kinds so
+/// every cache payload variant round-trips through disk.
+fn mini_study() -> StudyConfig {
+    let mut cfg = StudyConfig::quick();
+    cfg.n_random = 2;
+    cfg.session_hours = vec![0.02, 0.03];
+    cfg.n_triggered = 1;
+    cfg.captures_per_triggered = 2;
+    cfg.n_transition = 1;
+    cfg.captures_per_transition = 2;
+    cfg
+}
+
+const MINI_SESSIONS: u64 = 4;
+
+/// The tentpole guarantee: a warm run answered entirely from the on-disk
+/// store is bit-identical to the cold run that populated it. The warm run
+/// uses a *fresh* `SessionCache`, so every hit must come through the disk
+/// layer (JSON round-trip included), not the in-process map.
+#[test]
+fn warm_disk_run_is_bit_identical_to_cold_run() {
+    let dir = scratch_dir("warm");
+
+    let cold_cache = SessionCache::at_dir(&dir);
+    let (cold, cold_obs) = Study::run_cached(mini_study(), &cold_cache);
+    assert_eq!(cold_obs.cache.hits, 0);
+    assert_eq!(cold_obs.cache.misses, MINI_SESSIONS);
+    assert_eq!(cold_obs.cache.stores, MINI_SESSIONS);
+
+    let warm_cache = SessionCache::at_dir(&dir);
+    let (warm, warm_obs) = Study::run_cached(mini_study(), &warm_cache);
+    assert_eq!(
+        warm_obs.cache.hits, MINI_SESSIONS,
+        "warm run must fully hit"
+    );
+    assert_eq!(warm_obs.cache.misses, 0);
+    assert_eq!(warm_obs.cache.invalid_entries, 0);
+    assert!(warm_obs.sessions.iter().all(|s| s.cache_hit));
+
+    assert_eq!(warm, cold, "cached study diverged from computed study");
+    // Bit-identity all the way down to the serialized report payload.
+    assert_eq!(
+        serde_json::to_string(&warm).unwrap(),
+        serde_json::to_string(&cold).unwrap()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt, truncate, and garbage every stored entry: the next run must
+/// notice (counting invalid entries), fall back to recomputing, and still
+/// produce the bit-identical study.
+#[test]
+fn corrupt_entries_recompute_identically() {
+    let dir = scratch_dir("corrupt");
+    let (cold, _) = Study::run_cached(mini_study(), &SessionCache::at_dir(&dir));
+
+    let mut mangled = 0u64;
+    for (i, entry) in std::fs::read_dir(&dir)
+        .expect("cache dir lists")
+        .enumerate()
+    {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        match i % 3 {
+            0 => std::fs::write(&path, "{not json").unwrap(), // parse failure
+            1 => {
+                // Truncate mid-entry: syntactically broken JSON.
+                let text = std::fs::read_to_string(&path).unwrap();
+                std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            }
+            _ => std::fs::write(&path, "").unwrap(), // empty file
+        }
+        mangled += 1;
+    }
+    assert_eq!(mangled, MINI_SESSIONS, "expected one entry per session");
+
+    let cache = SessionCache::at_dir(&dir);
+    let (redone, obs) = Study::run_cached(mini_study(), &cache);
+    assert_eq!(redone, cold, "recompute after corruption diverged");
+    assert_eq!(obs.cache.hits, 0);
+    assert_eq!(obs.cache.misses, MINI_SESSIONS);
+    assert_eq!(
+        obs.cache.invalid_entries, MINI_SESSIONS,
+        "every mangled entry must be counted, not silently missed"
+    );
+    // And the recompute rewrote good entries: a third run fully hits.
+    let (again, obs) = Study::run_cached(mini_study(), &SessionCache::at_dir(&dir));
+    assert_eq!(again, cold);
+    assert_eq!(obs.cache.hits, MINI_SESSIONS);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bumped engine-version salt must invalidate everything: new keys see
+/// an empty store, and even a file renamed onto the new key's path is
+/// rejected by its header echo.
+#[test]
+fn engine_salt_bump_invalidates_stored_entries() {
+    let dir = scratch_dir("salt");
+    let cfg = SessionConfig {
+        hours: 0.01,
+        ..SessionConfig::paper(7)
+    };
+
+    let v1 = SessionCache::at_dir(&dir);
+    let k1 = v1.key(SessionKind::Triggered, &cfg, 0, 2);
+    v1.store(
+        &k1,
+        &CachedSession::Captures {
+            captures: Vec::new(),
+            audit: Default::default(),
+        },
+    );
+    assert!(v1.lookup(&k1).is_some());
+
+    // The salt reaches the key, so the v2 cache looks elsewhere entirely.
+    let v2 = SessionCache::at_dir(&dir).with_engine_salt(u64::MAX);
+    let k2 = v2.key(SessionKind::Triggered, &cfg, 0, 2);
+    assert_ne!(k1, k2, "engine salt must reach the fingerprint");
+    assert!(v2.lookup(&k2).is_none());
+
+    // Adversarial rename: masquerade the v1 entry as the v2 key. The
+    // header (engine version + echoed key) must reject it as invalid.
+    std::fs::rename(
+        dir.join(format!("{}.json", k1.to_hex())),
+        dir.join(format!("{}.json", k2.to_hex())),
+    )
+    .expect("rename stored entry");
+    assert!(v2.lookup(&k2).is_none(), "stale-engine entry must not load");
+    assert_eq!(v2.stats().invalid_entries, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Key sensitivity: every input that can steer a session result must
+    /// reach the fingerprint. Perturbing any one of seed, session length,
+    /// sampling cadence, machine width, kind, index, or capture budget
+    /// must produce a different key; identical inputs must collide.
+    #[test]
+    fn every_steering_input_reaches_the_key(
+        seed in 0u64..1_000_000,
+        idx in 0usize..32,
+        captures in 0usize..16,
+        width_shift in 1usize..6,
+    ) {
+        let cache = SessionCache::in_memory();
+        let cfg = SessionConfig { hours: 0.01, ..SessionConfig::paper(seed) };
+        let base = cache.key(SessionKind::Random, &cfg, idx, captures);
+
+        // Same inputs, fresh key computation: stable.
+        prop_assert_eq!(base, cache.key(SessionKind::Random, &cfg, idx, captures));
+
+        // Seed.
+        let mut c = cfg.clone();
+        c.seed = seed.wrapping_add(1);
+        prop_assert_ne!(base, cache.key(SessionKind::Random, &c, idx, captures));
+
+        // Session length.
+        let mut c = cfg.clone();
+        c.hours += 0.01;
+        prop_assert_ne!(base, cache.key(SessionKind::Random, &c, idx, captures));
+
+        // Sampling cadence.
+        let mut c = cfg.clone();
+        c.sample_interval_s += 1.0;
+        prop_assert_ne!(base, cache.key(SessionKind::Random, &c, idx, captures));
+
+        // Machine width.
+        let mut c = cfg.clone();
+        c.machine = fx8_sim::MachineConfig::scaled(1 << width_shift);
+        if c.machine != cfg.machine {
+            prop_assert_ne!(base, cache.key(SessionKind::Random, &c, idx, captures));
+        }
+
+        // Kind, index, capture budget.
+        prop_assert_ne!(base, cache.key(SessionKind::Transition, &cfg, idx, captures));
+        prop_assert_ne!(base, cache.key(SessionKind::Random, &cfg, idx + 1, captures));
+        prop_assert_ne!(base, cache.key(SessionKind::Random, &cfg, idx, captures + 1));
+    }
+}

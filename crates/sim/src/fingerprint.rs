@@ -1,0 +1,189 @@
+//! Stable content fingerprints for cache keys.
+//!
+//! The session result cache (fx8-core) memoizes simulation outputs keyed
+//! by *content*: every input that can steer the simulation must reach the
+//! key, and the key must be stable across processes, builds, and
+//! platforms. `std::hash::Hash` guarantees none of that — its output is
+//! explicitly allowed to change between releases and differs across
+//! pointer widths — so this module provides a dedicated hasher with a
+//! pinned algorithm: FNV-1a over a 128-bit state, with domain-separated,
+//! length-prefixed writes so distinct input *structures* can never
+//! produce identical byte streams (`"ab", "c"` hashes differently from
+//! `"a", "bc"`).
+//!
+//! FNV-1a is not collision-resistant against adversaries; it does not
+//! need to be. Cache entries are self-describing (versioned header, key
+//! echoed inside the entry) and a wrong hit degrades to a recompute, not
+//! corruption. What matters is that the fingerprint is *stable* (same
+//! input, same key, forever — guarded by a golden test) and *sensitive*
+//! (any input perturbation moves the key — guarded by a proptest in
+//! fx8-core).
+
+/// Version of the stepping semantics baked into this build. Any change
+/// that can alter a simulated trajectory — stepper semantics, RNG draw
+/// order, monitor reduction, workload templates — must bump this constant
+/// so previously cached session results are invalidated wholesale.
+/// (Pure-performance changes that are proven bit-identical, like the
+/// fast-forward and dense engines were, do not require a bump.)
+pub const ENGINE_VERSION: u64 = 1;
+
+/// Whether this build carries the cycle-level auditor (`--features
+/// audit`). Audit builds force scalar stepping and fill
+/// [`crate::audit::AuditReport`]s, so their session results are not
+/// interchangeable with plain builds; the cache keys the flag.
+pub const AUDIT_BUILD: bool = cfg!(feature = "audit");
+
+const FNV128_OFFSET: u128 = 0x6C62272E07BB014262B821756295C58D;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A 128-bit content fingerprint, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The canonical 32-hex-digit spelling (also the cache file stem).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a-128 hasher with domain-separated writes.
+///
+/// Each write is framed (a type tag, plus a length prefix for
+/// variable-size payloads) so the concatenation of writes is an
+/// unambiguous encoding of the input sequence.
+#[derive(Debug, Clone)]
+pub struct CacheKeyHasher {
+    state: u128,
+}
+
+impl Default for CacheKeyHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheKeyHasher {
+    /// Fresh hasher at the FNV-1a-128 offset basis.
+    pub fn new() -> Self {
+        CacheKeyHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Raw bytes, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.absorb(&[0x01]);
+        self.absorb(&(bytes.len() as u64).to_le_bytes());
+        self.absorb(bytes);
+    }
+
+    /// A UTF-8 string, length-prefixed (distinct domain from raw bytes).
+    pub fn write_str(&mut self, s: &str) {
+        self.absorb(&[0x02]);
+        self.absorb(&(s.len() as u64).to_le_bytes());
+        self.absorb(s.as_bytes());
+    }
+
+    /// A 64-bit integer, fixed-width little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.absorb(&[0x03]);
+        self.absorb(&v.to_le_bytes());
+    }
+
+    /// A `usize`, widened to 64 bits so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// A boolean flag.
+    pub fn write_bool(&mut self, v: bool) {
+        self.absorb(&[0x04, v as u8]);
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_strs(parts: &[&str]) -> Fingerprint {
+        let mut h = CacheKeyHasher::new();
+        for p in parts {
+            h.write_str(p);
+        }
+        h.finish()
+    }
+
+    /// Golden value: the algorithm is pinned. If this test ever fails the
+    /// fingerprint function changed, which silently invalidates (or worse,
+    /// silently *revalidates*) every on-disk cache in the world — bump
+    /// [`ENGINE_VERSION`] instead of accepting a new golden.
+    #[test]
+    fn fingerprint_is_pinned() {
+        let mut h = CacheKeyHasher::new();
+        h.write_str("fx8");
+        h.write_u64(1987);
+        h.write_bool(true);
+        h.write_bytes(&[0xde, 0xad]);
+        assert_eq!(h.finish().to_hex(), "e630403baec0657df29ac19c094aa77c");
+    }
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(CacheKeyHasher::new().finish(), Fingerprint(FNV128_OFFSET));
+    }
+
+    #[test]
+    fn writes_are_domain_separated() {
+        // Same byte stream, different framing, different fingerprint.
+        assert_ne!(hash_strs(&["ab", "c"]), hash_strs(&["a", "bc"]));
+        assert_ne!(hash_strs(&["abc"]), hash_strs(&["ab", "c"]));
+        let mut s = CacheKeyHasher::new();
+        s.write_str("ab");
+        let mut b = CacheKeyHasher::new();
+        b.write_bytes(b"ab");
+        assert_ne!(s.finish(), b.finish(), "str and bytes domains differ");
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        let mut a = CacheKeyHasher::new();
+        a.write_u64(42);
+        let mut b = CacheKeyHasher::new();
+        b.write_u64(43);
+        assert_ne!(a.finish(), b.finish());
+        let mut t = CacheKeyHasher::new();
+        t.write_bool(true);
+        let mut f = CacheKeyHasher::new();
+        f.write_bool(false);
+        assert_ne!(t.finish(), f.finish());
+    }
+
+    #[test]
+    fn hex_rendering_is_32_digits() {
+        let fp = hash_strs(&["x"]);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(format!("{fp}"), hex);
+        assert_eq!(Fingerprint(0).to_hex(), "0".repeat(32));
+    }
+}

@@ -54,6 +54,7 @@
 //! | [`cluster`] | the assembled machine |
 //! | [`probe`] | the logic-analyzer probe word |
 //! | [`trace`] | `fx8-trace`: zero-cost-when-off self-observability |
+//! | [`fingerprint`] | stable content fingerprints for the session cache |
 
 pub mod addr;
 pub mod audit;
@@ -64,6 +65,7 @@ pub mod cluster;
 pub mod coherence;
 pub mod config;
 pub mod crossbar;
+pub mod fingerprint;
 pub mod icache;
 pub mod ip;
 pub mod membus;

@@ -237,7 +237,7 @@ impl Default for LatencyHistogram {
 /// Cycles retired by each stepping engine. The three engines partition
 /// the timeline, so `scalar + dense + skipped == total` always holds
 /// (asserted by [`EngineCycles::consistent`] and the metrics proptest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct EngineCycles {
     /// Cycles stepped one at a time by `step_cycle`.
     pub scalar: u64,
@@ -266,7 +266,7 @@ impl EngineCycles {
 
 /// One sample of the metrics registry, assembled on demand by
 /// `Cluster::metrics` from the subsystems' monotonic counters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct MetricsSnapshot {
     /// Per-engine cycle split.
     pub cycles: EngineCycles,
